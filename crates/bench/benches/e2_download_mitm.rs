@@ -1,0 +1,24 @@
+//! E2 bench — Figure 2: times one full download-MITM replication and
+//! prints the boundary-miss table once.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rogue_core::experiments::e2_download::{run_download_mitm, DownloadMitmConfig};
+use rogue_sim::Seed;
+
+fn bench(c: &mut Criterion) {
+    println!("\nE2: Figure 2 / §4.1 — software-download MITM\n{}\n", rogue_bench::report_e2(4).body);
+    let cfg = DownloadMitmConfig::paper();
+    let mut g = c.benchmark_group("e2_download_mitm");
+    g.sample_size(10);
+    let mut seed = 0u64;
+    g.bench_function("fig2_full_attack_replication", |b| {
+        b.iter(|| {
+            seed += 1;
+            run_download_mitm(&cfg, Seed(seed))
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

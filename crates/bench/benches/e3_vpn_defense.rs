@@ -1,0 +1,23 @@
+//! E3 bench — Figure 3: times one VPN-protected download replication and
+//! prints the defence comparison once.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rogue_core::experiments::e3_vpn::{run_vpn_defense, VpnMode};
+use rogue_sim::Seed;
+
+fn bench(c: &mut Criterion) {
+    println!("\nE3: Figure 3 / §5 — VPN-everything defence\n{}\n", rogue_bench::report_e3(3).body);
+    let mut g = c.benchmark_group("e3_vpn_defense");
+    g.sample_size(10);
+    let mut seed = 0u64;
+    g.bench_function("fig3_vpn_protected_download", |b| {
+        b.iter(|| {
+            seed += 1;
+            run_vpn_defense(VpnMode::Udp, Seed(seed))
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

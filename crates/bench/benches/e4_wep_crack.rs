@@ -1,0 +1,23 @@
+//! E4 bench — §4 premise: times a full FMS crack (WEP-40 and WEP-104)
+//! and prints the success curves once.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rogue_core::experiments::e4_wep::{crack_once, random_key};
+use rogue_sim::{Seed, SimRng};
+
+fn bench(c: &mut Criterion) {
+    println!("\nE4: §4 premise — Airsnort/FMS WEP key recovery\n{}\n", rogue_bench::report_e4(8).body);
+    let mut g = c.benchmark_group("e4_wep_crack");
+    g.sample_size(10);
+    for key_len in [5usize, 13] {
+        let mut rng = SimRng::new(Seed(4));
+        let key = random_key(&mut rng, key_len);
+        g.bench_function(format!("sec4_fms_crack_wep{}", key_len * 8), |b| {
+            b.iter(|| crack_once(&key, 240))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

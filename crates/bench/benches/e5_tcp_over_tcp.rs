@@ -1,0 +1,23 @@
+//! E5 bench — §5.3: times one tunnel run under loss per encapsulation
+//! and prints the comparison tables once.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rogue_core::experiments::e5_tcp_over_tcp::{tunnel_comparison, InnerFlow};
+use rogue_sim::Seed;
+
+fn bench(c: &mut Criterion) {
+    println!("\nE5: §5.3 — TCP-over-TCP penalty\n{}\n", rogue_bench::report_e5(2).body);
+    let mut g = c.benchmark_group("e5_tcp_over_tcp");
+    g.sample_size(10);
+    let mut seed = 0u64;
+    g.bench_function("sec53_udp_over_both_transports_5pct_loss", |b| {
+        b.iter(|| {
+            seed += 1;
+            tunnel_comparison(InnerFlow::UdpCbr, &[0.05], 1, Seed(seed))
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,27 @@
+//! E6 bench — §2.3: times one sweep-and-detect replication and prints
+//! the detection table once.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rogue_core::experiments::e6_detection::run_detection_once;
+use rogue_sim::{Seed, SimDuration, SimTime};
+
+fn bench(c: &mut Criterion) {
+    println!("\nE6: §2.3 — rogue-AP detection\n{}\n", rogue_bench::report_e6(2).body);
+    let mut g = c.benchmark_group("e6_detection");
+    g.sample_size(10);
+    let mut seed = 0u64;
+    g.bench_function("sec23_sweep_detect_replication", |b| {
+        b.iter(|| {
+            seed += 1;
+            run_detection_once(
+                SimDuration::from_millis(250),
+                SimTime::from_secs(15),
+                Seed(seed),
+            )
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,31 @@
+//! E7 bench — the defence matrix: times one policy-cell replication and
+//! prints the matrix once.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rogue_core::experiments::e2_download::{run_download_mitm, DownloadMitmConfig};
+use rogue_core::experiments::e7_matrix::scenario_for;
+use rogue_core::policy::ClientPolicy;
+use rogue_sim::Seed;
+
+fn bench(c: &mut Criterion) {
+    println!("\nE7: defence matrix\n{}\n", rogue_bench::report_e7(2).body);
+    let mut g = c.benchmark_group("e7_defense_matrix");
+    g.sample_size(10);
+    for policy in [ClientPolicy::WepMacFilter, ClientPolicy::VpnAll(rogue_vpn::Transport::Udp)] {
+        let cfg = DownloadMitmConfig {
+            scenario: scenario_for(policy),
+            ..DownloadMitmConfig::paper()
+        };
+        let mut seed = 0u64;
+        g.bench_function(format!("matrix_cell_{}", policy.label().replace(' ', "_")), |b| {
+            b.iter(|| {
+                seed += 1;
+                run_download_mitm(&cfg, Seed(seed))
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,25 @@
+//! E8 bench — the hostile hotspot: times one browse-session replication
+//! and prints the §5.1 comparison once.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rogue_core::experiments::e8_hotspot::run_hotspot_once;
+use rogue_core::scenario::HotspotScenarioCfg;
+use rogue_sim::Seed;
+
+fn bench(c: &mut Criterion) {
+    println!("\nE8: hostile hotspot (§1.2.2 / §5.1)\n{}\n", rogue_bench::report_e8(3).body);
+    let cfg = HotspotScenarioCfg::cnn_scenario();
+    let mut g = c.benchmark_group("e8_hotspot");
+    g.sample_size(10);
+    let mut seed = 0u64;
+    g.bench_function("sec51_cnn_scenario_replication", |b| {
+        b.iter(|| {
+            seed += 1;
+            run_hotspot_once(&cfg, 4, Seed(seed))
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,23 @@
+//! E9 bench — detect-then-contain: times one closed-loop replication and
+//! prints the comparison once.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rogue_core::experiments::e9_containment::run_containment_once;
+use rogue_sim::{Seed, SimDuration};
+
+fn bench(c: &mut Criterion) {
+    println!("\nE9: detect-then-contain (future work)\n{}\n", rogue_bench::report_e9(2).body);
+    let mut g = c.benchmark_group("e9_containment");
+    g.sample_size(10);
+    let mut seed = 0u64;
+    g.bench_function("detect_then_contain_replication", |b| {
+        b.iter(|| {
+            seed += 1;
+            run_containment_once(true, SimDuration::from_millis(200), Seed(seed))
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,113 @@
+//! Substrate microbenches: the from-scratch crypto, the TCP stack, the
+//! radio medium and the event queue — the pieces whose throughput
+//! bounds how fast the experiments run.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use rogue_crypto::chacha20::ChaCha20;
+use rogue_crypto::wep::{open, seal, WepKey};
+use rogue_crypto::{crc32, md5, sha1, Rc4};
+use rogue_netstack::tcp::{flags, TcpSegment};
+use rogue_netstack::Ipv4Addr;
+use rogue_sim::{EventQueue, Seed, SimRng, SimTime};
+
+fn crypto(c: &mut Criterion) {
+    let data = vec![0xA5u8; 1500];
+    let mut g = c.benchmark_group("crypto_1500B");
+    g.throughput(Throughput::Bytes(1500));
+    g.bench_function("rc4", |b| b.iter(|| Rc4::process(b"SECRET", &data)));
+    g.bench_function("crc32", |b| b.iter(|| crc32(&data)));
+    g.bench_function("md5", |b| b.iter(|| md5(&data)));
+    g.bench_function("sha1", |b| b.iter(|| sha1(&data)));
+    g.bench_function("chacha20", |b| {
+        let key = [7u8; 32];
+        let nonce = [9u8; 12];
+        b.iter(|| ChaCha20::process(&key, &nonce, 0, &data))
+    });
+    let key = WepKey::new(b"AB#12");
+    g.bench_function("wep_seal", |b| b.iter(|| seal(&key, [1, 2, 3], 0, &data)));
+    let sealed = seal(&key, [1, 2, 3], 0, &data);
+    g.bench_function("wep_open", |b| b.iter(|| open(&key, &sealed).unwrap()));
+    g.finish();
+}
+
+fn dh(c: &mut Criterion) {
+    use rogue_crypto::dh::DhKeyPair;
+    let mut g = c.benchmark_group("dh_1024");
+    g.sample_size(20);
+    g.bench_function("keypair_generate", |b| {
+        b.iter(|| DhKeyPair::generate(&[0x42u8; 32]))
+    });
+    let a = DhKeyPair::generate(&[1u8; 32]);
+    let bkp = DhKeyPair::generate(&[2u8; 32]);
+    g.bench_function("agree", |b| b.iter(|| a.agree(&bkp.public).unwrap()));
+    g.finish();
+}
+
+fn tcp_codec(c: &mut Criterion) {
+    let src = Ipv4Addr::new(10, 0, 0, 1);
+    let dst = Ipv4Addr::new(10, 0, 0, 2);
+    let seg = TcpSegment {
+        src_port: 1,
+        dst_port: 80,
+        seq: 1,
+        ack: 2,
+        flags: flags::ACK | flags::PSH,
+        window: 65535,
+        payload: bytes::Bytes::from(vec![0u8; 1400]),
+    };
+    let wire = seg.encode(src, dst);
+    let mut g = c.benchmark_group("tcp_codec_1400B");
+    g.throughput(Throughput::Bytes(1400));
+    g.bench_function("encode", |b| b.iter(|| seg.encode(src, dst)));
+    g.bench_function("decode", |b| b.iter(|| TcpSegment::decode(src, dst, &wire).unwrap()));
+    g.finish();
+}
+
+fn event_queue(c: &mut Criterion) {
+    let mut g = c.benchmark_group("sim_kernel");
+    g.bench_function("event_queue_push_pop_1k", |b| {
+        b.iter(|| {
+            let mut q = EventQueue::new();
+            for i in 0..1000u64 {
+                q.schedule(SimTime(i * 1000), i);
+            }
+            let mut acc = 0u64;
+            while let Some((_, e)) = q.pop() {
+                acc = acc.wrapping_add(e);
+            }
+            acc
+        })
+    });
+    g.bench_function("xoshiro_1k_draws", |b| {
+        let mut rng = SimRng::new(Seed(1));
+        b.iter(|| {
+            let mut acc = 0u64;
+            for _ in 0..1000 {
+                acc = acc.wrapping_add(rng.next_u64());
+            }
+            acc
+        })
+    });
+    g.finish();
+}
+
+fn fms_votes(c: &mut Criterion) {
+    use rogue_crypto::fms::{targeted_weak_ivs, KeyRecovery, Sample};
+    use rogue_crypto::rc4::Rc4;
+    let key = b"AB#12";
+    let mut kr = KeyRecovery::new();
+    for iv in targeted_weak_ivs(5, 240) {
+        let mut k = iv.to_vec();
+        k.extend_from_slice(key);
+        kr.absorb(Sample {
+            iv,
+            ks0: Rc4::new(&k).next_byte(),
+        });
+    }
+    let mut g = c.benchmark_group("fms");
+    g.bench_function("crack_wep40_1200_samples", |b| b.iter(|| kr.crack(5)));
+    g.finish();
+}
+
+criterion_group!(benches, crypto, dh, tcp_codec, event_queue, fms_votes);
+criterion_main!(benches);

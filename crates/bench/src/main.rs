@@ -1,0 +1,25 @@
+//! `harness` — regenerate every table of the reproduction.
+//!
+//! ```text
+//! cargo run --release -p rogue-bench --bin harness [reps]
+//! ```
+//!
+//! Prints the E1–E7 tables recorded in EXPERIMENTS.md. `reps` (default 5)
+//! controls Monte-Carlo replications per cell.
+
+fn main() {
+    let reps: usize = std::env::args()
+        .nth(1)
+        .and_then(|a| a.parse().ok())
+        .unwrap_or(5);
+    println!("Countering Rogues in Wireless Networks — reproduction harness");
+    println!("replications per cell: {reps}\n");
+    let t0 = std::time::Instant::now();
+    for report in rogue_bench::all_reports(reps) {
+        println!("────────────────────────────────────────────────────────────");
+        println!("{}: {}", report.id, report.artifact);
+        println!("────────────────────────────────────────────────────────────");
+        println!("{}", report.body);
+    }
+    println!("total wall time: {:.1} s", t0.elapsed().as_secs_f64());
+}

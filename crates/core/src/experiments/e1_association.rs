@@ -1,0 +1,250 @@
+//! **E1 — Figure 1: rogue-AP association capture.**
+//!
+//! The configuration the paper's Figure 1 draws: a valid AP on channel 1
+//! and a rogue with cloned SSID/BSSID/WEP on channel 6. Two questions
+//! are quantified:
+//!
+//! 1. **The scan race** — when both APs are on air as the client joins,
+//!    the strongest signal wins ([`capture_vs_power`]): the capture
+//!    probability rises from 0 to 1 as the rogue's received power
+//!    crosses the valid AP's.
+//! 2. **The forced roam** — when the client is *already associated* it
+//!    never re-evaluates; a rogue arriving later captures nobody until
+//!    it forges deauthentication frames ("force the client's
+//!    disassociation from the legitimate AP until the client associates
+//!    with the Rogue AP", §4) — [`capture_with_deauth`].
+
+use rayon::prelude::*;
+use rogue_dot11::output::MacEvent;
+use rogue_sim::{Seed, SimTime};
+
+use crate::scenario::{build_corp, corp_bssid, victim_mac, CorpScenarioCfg, RogueCfg};
+
+/// One replication's outcome.
+#[derive(Clone, Debug)]
+pub struct CaptureOutcome {
+    /// The victim was associated to the rogue AP at the end.
+    pub captured: bool,
+    /// When the victim first associated to any AP.
+    pub first_assoc: Option<SimTime>,
+    /// When the rogue AP first held the victim's association.
+    pub capture_time: Option<SimTime>,
+    /// Number of (forced) disassociations the victim suffered.
+    pub forced_disassocs: usize,
+}
+
+/// Run one capture replication.
+pub fn run_capture_once(cfg: &CorpScenarioCfg, run_time: SimTime, seed: Seed) -> CaptureOutcome {
+    let mut sc = build_corp(cfg, seed);
+    sc.world.run_until(run_time);
+
+    let captured = match &sc.gateway {
+        Some(gw) => sc
+            .world
+            .ap(gw.node, gw.rogue_ap_radio)
+            .is_associated(victim_mac()),
+        None => false,
+    };
+    let first_assoc = sc
+        .world
+        .mac_events
+        .iter()
+        .find(|(_, n, e)| *n == sc.victim && matches!(e, MacEvent::Associated { .. }))
+        .map(|(t, _, _)| *t);
+    // The capture instant: the rogue AP (on the gateway node) accepted
+    // the victim.
+    let capture_time = sc.gateway.as_ref().and_then(|gw| {
+        sc.world
+            .mac_events
+            .iter()
+            .find(|(_, n, e)| {
+                *n == gw.node
+                    && matches!(e, MacEvent::ClientAssociated { client } if *client == victim_mac())
+            })
+            .map(|(t, _, _)| *t)
+    });
+    let forced_disassocs = sc
+        .world
+        .mac_events
+        .iter()
+        .filter(|(_, n, e)| {
+            *n == sc.victim && matches!(e, MacEvent::Disassociated { forced: true, .. })
+        })
+        .count();
+    let _ = corp_bssid();
+    CaptureOutcome {
+        captured,
+        first_assoc,
+        capture_time,
+        forced_disassocs,
+    }
+}
+
+/// One row of the power sweep.
+#[derive(Clone, Debug)]
+pub struct CapturePoint {
+    /// Rogue transmit power, dBm.
+    pub rogue_power_dbm: f64,
+    /// Replications.
+    pub reps: usize,
+    /// Fraction captured.
+    pub capture_rate: f64,
+    /// Mean time from start to capture (captured runs), seconds.
+    pub mean_capture_secs: f64,
+}
+
+/// The scan race: rogue on air from the start, power swept. Shadowing
+/// (6 dB) makes the transition a smooth S-curve rather than a step.
+pub fn capture_vs_power(powers_dbm: &[f64], reps: usize, seed: Seed) -> Vec<CapturePoint> {
+    powers_dbm
+        .par_iter()
+        .map(|&p| {
+            let outcomes: Vec<CaptureOutcome> = (0..reps)
+                .into_par_iter()
+                .map(|rep| {
+                    let mut cfg = CorpScenarioCfg::paper_attack();
+                    cfg.shadowing_sigma_db = 6.0;
+                    cfg.rogue = Some(RogueCfg {
+                        tx_power_dbm: p,
+                        ..RogueCfg::default()
+                    });
+                    run_capture_once(
+                        &cfg,
+                        SimTime::from_secs(5),
+                        seed.fork((p * 10.0) as i64 as u64 ^ (rep as u64) << 17),
+                    )
+                })
+                .collect();
+            let captured: Vec<&CaptureOutcome> =
+                outcomes.iter().filter(|o| o.captured).collect();
+            CapturePoint {
+                rogue_power_dbm: p,
+                reps: outcomes.len(),
+                capture_rate: captured.len() as f64 / outcomes.len().max(1) as f64,
+                mean_capture_secs: if captured.is_empty() {
+                    f64::NAN
+                } else {
+                    captured
+                        .iter()
+                        .filter_map(|o| o.capture_time)
+                        .map(|t| t.as_secs_f64())
+                        .sum::<f64>()
+                        / captured.len() as f64
+                },
+            }
+        })
+        .collect()
+}
+
+/// One row of the deauth comparison.
+#[derive(Clone, Debug)]
+pub struct DeauthPoint {
+    /// Whether forged deauth was used.
+    pub deauth: bool,
+    /// Replications.
+    pub reps: usize,
+    /// Fraction of runs where the late-arriving rogue captured the
+    /// victim.
+    pub capture_rate: f64,
+    /// Mean time from rogue power-on to capture, seconds.
+    pub mean_capture_after_start_secs: f64,
+}
+
+/// The forced roam: the rogue arrives at t = 3 s, after the victim has
+/// associated to the valid AP. Without deauth the sticky association
+/// never re-evaluates; with forged deauth the victim is pushed off and
+/// re-joins the (stronger) rogue.
+pub fn capture_with_deauth(reps: usize, seed: Seed) -> Vec<DeauthPoint> {
+    [false, true]
+        .into_iter()
+        .map(|deauth| {
+            let rogue_start = SimTime::from_secs(3);
+            let outcomes: Vec<CaptureOutcome> = (0..reps)
+                .into_par_iter()
+                .map(|rep| {
+                    let mut cfg = CorpScenarioCfg::paper_attack();
+                    cfg.rogue = Some(RogueCfg {
+                        deauth_victim: deauth,
+                        start_at: rogue_start,
+                        ..RogueCfg::default()
+                    });
+                    run_capture_once(
+                        &cfg,
+                        SimTime::from_secs(12),
+                        seed.fork(rep as u64 * 2 + deauth as u64),
+                    )
+                })
+                .collect();
+            let captured: Vec<&CaptureOutcome> =
+                outcomes.iter().filter(|o| o.captured).collect();
+            DeauthPoint {
+                deauth,
+                reps: outcomes.len(),
+                capture_rate: captured.len() as f64 / outcomes.len().max(1) as f64,
+                mean_capture_after_start_secs: if captured.is_empty() {
+                    f64::NAN
+                } else {
+                    captured
+                        .iter()
+                        .filter_map(|o| o.capture_time)
+                        .map(|t| t.since(rogue_start).as_secs_f64())
+                        .sum::<f64>()
+                        / captured.len() as f64
+                },
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn strong_rogue_captures_weak_rogue_does_not() {
+        // Strong rogue (18 dBm at ~6 m from the victim) wins.
+        let cfg = CorpScenarioCfg::paper_attack();
+        let o = run_capture_once(&cfg, SimTime::from_secs(5), Seed(31));
+        assert!(o.captured, "{o:?}");
+        assert!(o.capture_time.is_some());
+
+        // Hopeless rogue (-30 dBm): below the victim's candidate floor.
+        let mut cfg = CorpScenarioCfg::paper_attack();
+        cfg.rogue = Some(RogueCfg {
+            tx_power_dbm: -30.0,
+            ..RogueCfg::default()
+        });
+        let o = run_capture_once(&cfg, SimTime::from_secs(5), Seed(32));
+        assert!(!o.captured, "{o:?}");
+    }
+
+    #[test]
+    fn late_rogue_needs_deauth() {
+        let rows = capture_with_deauth(2, Seed(33));
+        assert_eq!(rows.len(), 2);
+        let without = &rows[0];
+        let with = &rows[1];
+        assert!(!without.deauth && with.deauth);
+        assert_eq!(
+            without.capture_rate, 0.0,
+            "sticky association: no capture without deauth ({without:?})"
+        );
+        assert!(
+            with.capture_rate > 0.9,
+            "forged deauth must force the roam ({with:?})"
+        );
+    }
+
+    #[test]
+    fn deauth_registers_forced_disassociation() {
+        let mut cfg = CorpScenarioCfg::paper_attack();
+        cfg.rogue = Some(RogueCfg {
+            deauth_victim: true,
+            start_at: SimTime::from_secs(3),
+            ..RogueCfg::default()
+        });
+        let o = run_capture_once(&cfg, SimTime::from_secs(12), Seed(34));
+        assert!(o.forced_disassocs >= 1, "{o:?}");
+        assert!(o.captured);
+    }
+}

@@ -1,0 +1,255 @@
+//! **E2 — Figure 2 / §4.1: the software-download MITM.**
+//!
+//! The paper's proof of concept: the victim fetches a download page
+//! through the rogue gateway; netfilter DNATs the page request into a
+//! local netsed which rewrites the download link (to the attacker's
+//! mirror) and the advertised MD5SUM (to the trojan's). The victim
+//! downloads the trojan, verifies the checksum, and is *reassured*.
+//!
+//! Also quantified: the tool's admitted limitation — "netsed will not
+//! match strings that cross packet boundaries" — as a rewrite success
+//! rate vs. the server's TCP segment size ([`boundary_miss_sweep`]).
+
+use rayon::prelude::*;
+use rogue_dot11::sta::StaState;
+use rogue_netstack::Ipv4Addr;
+use rogue_services::apps::DownloadClient;
+use rogue_services::netsed::Netsed;
+use rogue_sim::{Seed, SimDuration, SimTime};
+
+use crate::scenario::{build_corp, CorpScenarioCfg};
+
+/// Experiment configuration.
+#[derive(Clone, Debug)]
+pub struct DownloadMitmConfig {
+    /// Underlying topology.
+    pub scenario: CorpScenarioCfg,
+    /// When the victim starts browsing.
+    pub download_start: SimTime,
+    /// Per-download timeout.
+    pub download_timeout: SimDuration,
+    /// Total run time.
+    pub run_time: SimTime,
+}
+
+impl DownloadMitmConfig {
+    /// The Section 4 setup, verbatim.
+    pub fn paper() -> DownloadMitmConfig {
+        DownloadMitmConfig {
+            scenario: CorpScenarioCfg::paper_attack(),
+            download_start: SimTime::from_secs(2),
+            download_timeout: SimDuration::from_secs(25),
+            run_time: SimTime::from_secs(30),
+        }
+    }
+
+    /// Same victim workflow on the healthy network.
+    pub fn baseline() -> DownloadMitmConfig {
+        DownloadMitmConfig {
+            scenario: CorpScenarioCfg::baseline(),
+            ..DownloadMitmConfig::paper()
+        }
+    }
+}
+
+/// What one replication produced.
+#[derive(Clone, Debug)]
+pub struct DownloadMitmResult {
+    /// The download workflow completed (page + file fetched).
+    pub completed: bool,
+    /// The fetched bytes are the attacker's trojan.
+    pub victim_got_trojan: bool,
+    /// The fetched bytes are the genuine release.
+    pub victim_got_genuine: bool,
+    /// The victim's MD5 verification passed.
+    pub md5_check_passed: bool,
+    /// Where the file actually came from.
+    pub file_server: Option<Ipv4Addr>,
+    /// The link on the page as the victim saw it.
+    pub link_seen: Option<String>,
+    /// Whether the victim ended up associated to the rogue AP.
+    pub victim_on_rogue: bool,
+    /// netsed replacements performed on the gateway.
+    pub netsed_replacements: u64,
+    /// Wall-clock (simulated) duration of the workflow, seconds.
+    pub download_secs: f64,
+    /// Failure reason, if any.
+    pub error: Option<String>,
+}
+
+/// Run one replication of the Figure 2 experiment.
+pub fn run_download_mitm(cfg: &DownloadMitmConfig, seed: Seed) -> DownloadMitmResult {
+    let mut sc = build_corp(&cfg.scenario, seed);
+    let dl_app = sc.world.add_app(
+        sc.victim,
+        Box::new(DownloadClient::new(
+            crate::scenario::addrs::TARGET,
+            "/download.html",
+            cfg.download_start,
+            cfg.download_timeout,
+        )),
+    );
+    sc.world.run_until(cfg.run_time);
+
+    let outcome = sc
+        .world
+        .app::<DownloadClient>(sc.victim, dl_app)
+        .outcome
+        .clone();
+    let victim_on_rogue = match &sc.gateway {
+        Some(gw) => sc
+            .world
+            .ap(gw.node, gw.rogue_ap_radio)
+            .is_associated(crate::scenario::victim_mac()),
+        None => false,
+    };
+    let netsed_replacements = match &sc.gateway {
+        Some(gw) => sc.world.app::<Netsed>(gw.node, gw.netsed_app).replacements,
+        None => 0,
+    };
+    let victim_associated =
+        sc.world.sta_state(sc.victim, sc.victim_radio) == StaState::Associated;
+
+    match outcome {
+        Some(o) => {
+            let bytes = o.file_bytes.as_deref();
+            DownloadMitmResult {
+                completed: o.error.is_none(),
+                victim_got_trojan: bytes == Some(&sc.trojan[..]),
+                victim_got_genuine: bytes == Some(&sc.portal.file[..]),
+                md5_check_passed: o.verified,
+                file_server: o.file_server,
+                link_seen: o.link.clone(),
+                victim_on_rogue,
+                netsed_replacements,
+                download_secs: o
+                    .completed_at
+                    .map(|t| t.since(cfg.download_start).as_secs_f64())
+                    .unwrap_or(f64::NAN),
+                error: o.error,
+            }
+        }
+        None => DownloadMitmResult {
+            completed: false,
+            victim_got_trojan: false,
+            victim_got_genuine: false,
+            md5_check_passed: false,
+            file_server: None,
+            link_seen: None,
+            victim_on_rogue,
+            netsed_replacements,
+            download_secs: f64::NAN,
+            error: Some(if victim_associated {
+                "download never finished".into()
+            } else {
+                "victim never associated".into()
+            }),
+        },
+    }
+}
+
+/// One row of the boundary-miss sweep.
+#[derive(Clone, Debug)]
+pub struct BoundaryPoint {
+    /// Server-side TCP MSS.
+    pub server_mss: usize,
+    /// Replications run.
+    pub reps: usize,
+    /// Fraction where the link rewrite landed (victim got the trojan).
+    pub link_rewrite_rate: f64,
+    /// Fraction where both rewrites landed (trojan fetched AND the MD5
+    /// verification passed) — the full Figure 2 deception.
+    pub full_deception_rate: f64,
+    /// Fraction of completed runs with at least one boundary miss
+    /// (fewer than the expected 2 replacements).
+    pub any_miss_rate: f64,
+}
+
+/// Sweep the server's segment size. Small segments make the target
+/// strings straddle TCP boundaries more often; each replication also
+/// randomizes the page padding so the split point moves.
+pub fn boundary_miss_sweep(mss_values: &[usize], reps: usize, seed: Seed) -> Vec<BoundaryPoint> {
+    mss_values
+        .par_iter()
+        .map(|&mss| {
+            let outcomes: Vec<(bool, bool, bool)> = (0..reps)
+                .into_par_iter()
+                .map(|rep| {
+                    let rep_seed = seed.fork(mss as u64 * 10_000 + rep as u64);
+                    let mut cfg = DownloadMitmConfig::paper();
+                    cfg.scenario.server_mss = mss;
+                    // Shift segment boundaries per replication.
+                    cfg.scenario.page_pad =
+                        rogue_sim::SimRng::new(rep_seed).below(mss as u64) as usize;
+                    let r = run_download_mitm(&cfg, rep_seed);
+                    let link = r.victim_got_trojan;
+                    let full = r.victim_got_trojan && r.md5_check_passed;
+                    let miss = r.completed && r.netsed_replacements < 2;
+                    (link, full, miss)
+                })
+                .collect();
+            let n = outcomes.len().max(1);
+            BoundaryPoint {
+                server_mss: mss,
+                reps: outcomes.len(),
+                link_rewrite_rate: outcomes.iter().filter(|o| o.0).count() as f64 / n as f64,
+                full_deception_rate: outcomes.iter().filter(|o| o.1).count() as f64 / n as f64,
+                any_miss_rate: outcomes.iter().filter(|o| o.2).count() as f64 / n as f64,
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn figure2_attack_succeeds_end_to_end() {
+        let r = run_download_mitm(&DownloadMitmConfig::paper(), Seed(11));
+        assert!(r.completed, "error: {:?}", r.error);
+        assert!(r.victim_on_rogue, "victim must be on the rogue AP");
+        assert!(r.victim_got_trojan, "link rewrite must land");
+        assert!(!r.victim_got_genuine);
+        assert!(
+            r.md5_check_passed,
+            "the victim's verification must be fooled (md5 rule)"
+        );
+        assert_eq!(
+            r.file_server,
+            Some(crate::scenario::addrs::EVIL),
+            "the naive attack reveals the real download IP (§4.2)"
+        );
+        assert!(r.netsed_replacements >= 2);
+        assert!(
+            r.link_seen.as_deref().unwrap_or("").contains("evil.tgz"),
+            "rewritten link: {:?}",
+            r.link_seen
+        );
+    }
+
+    #[test]
+    fn baseline_download_is_genuine() {
+        let r = run_download_mitm(&DownloadMitmConfig::baseline(), Seed(12));
+        assert!(r.completed, "error: {:?}", r.error);
+        assert!(!r.victim_on_rogue);
+        assert!(r.victim_got_genuine);
+        assert!(r.md5_check_passed);
+        assert_eq!(r.file_server, Some(crate::scenario::addrs::TARGET));
+        assert_eq!(r.netsed_replacements, 0);
+    }
+
+    #[test]
+    fn tiny_mss_causes_boundary_misses() {
+        // With a 96-byte server MSS the 32-char MD5SUM straddles a
+        // boundary in roughly a third of random paddings.
+        let points = boundary_miss_sweep(&[96], 6, Seed(13));
+        assert_eq!(points.len(), 1);
+        let p = &points[0];
+        assert_eq!(p.reps, 6);
+        assert!(
+            p.any_miss_rate > 0.0 || p.full_deception_rate < 1.0,
+            "expected some straddle at MSS 96: {p:?}"
+        );
+    }
+}

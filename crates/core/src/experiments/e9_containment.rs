@@ -1,0 +1,214 @@
+//! **E9 (extension) — the paper's future work: "improving techniques of
+//! detecting and countering attacks similar to the ones discussed
+//! here".**
+//!
+//! Detection (E6) tells the administrator a cloned-BSSID rogue is on
+//! air; *containment* is what wireless IDS products built next: keep the
+//! rogue's clients off it by flooding forged deauthentication on the
+//! rogue's channel — the attacker's own §4 primitive, turned around.
+//!
+//! The experiment closes the loop inside one run: a defender sweeps,
+//! detects the duplicate BSSID, then activates a containment injector on
+//! the rogue's channel. Measured: whether the victim's download-MITM
+//! still succeeds, against detection latency and containment cadence.
+
+use rayon::prelude::*;
+use rogue_attack::DeauthFlooder;
+use rogue_detect::audit::SiteAuditor;
+use rogue_detect::AlarmKind;
+use rogue_phy::Pos;
+use rogue_services::apps::DownloadClient;
+use rogue_sim::{Seed, SimDuration, SimTime};
+
+use crate::scenario::{addrs, build_corp, corp_bssid, CorpScenarioCfg};
+
+/// One replication's outcome.
+#[derive(Clone, Debug)]
+pub struct ContainmentOutcome {
+    /// When the defender's audit flagged the duplicate BSSID.
+    pub detected_at: Option<SimTime>,
+    /// When containment went active.
+    pub contained_at: Option<SimTime>,
+    /// The victim completed the (tampered) download anyway.
+    pub attack_succeeded: bool,
+    /// Forced disassociations the victim suffered from containment.
+    pub victim_kicks: usize,
+}
+
+/// Run one replication. `containment` enables the response; the rogue is
+/// on air from t = 0 and the victim browses at t = 2 s (as in E2).
+pub fn run_containment_once(
+    containment: bool,
+    sweep_dwell: SimDuration,
+    seed: Seed,
+) -> ContainmentOutcome {
+    let cfg = CorpScenarioCfg::paper_attack();
+    let mut sc = build_corp(&cfg, seed);
+    let dl_app = sc.world.add_app(
+        sc.victim,
+        Box::new(DownloadClient::new(
+            addrs::TARGET,
+            "/download.html",
+            SimTime::from_secs(2),
+            SimDuration::from_secs(25),
+        )),
+    );
+    // The defender: monitor + (later) containment injector.
+    let defender = sc.world.add_node("defender");
+    let mon = sc.world.add_monitor(defender, Pos::new(20.0, 10.0), 1);
+
+    let channels: Vec<u8> = (1..=11).collect();
+    let rogue_channel = cfg.rogue.as_ref().map(|r| r.channel).unwrap_or(6);
+    let mut detected_at = None;
+    let mut contained_at = None;
+    let mut ch_idx = 0usize;
+    let mut now = SimTime::ZERO;
+    let run_time = SimTime::from_secs(30);
+
+    while now < run_time {
+        sc.world
+            .set_radio_channel(defender, mon, channels[ch_idx % channels.len()]);
+        ch_idx += 1;
+        now = now.saturating_add(sweep_dwell).min(run_time);
+        sc.world.run_until(now);
+
+        if detected_at.is_none() {
+            let mut auditor = SiteAuditor::new();
+            auditor.authorize(corp_bssid(), 1);
+            auditor.audit(sc.world.sniffer(defender, mon));
+            if auditor
+                .alarms
+                .iter()
+                .any(|a| a.kind == AlarmKind::DuplicateBssid)
+            {
+                detected_at = Some(now);
+                if containment {
+                    // Containment: broadcast deauth under the rogue's
+                    // BSSID, on the rogue's channel, until the end.
+                    // Real WIPS containment floods aggressively: a
+                    // client that re-associates between frames gets
+                    // usable airtime, and TCP happily trickles a
+                    // download through those windows.
+                    let flooder = DeauthFlooder::new(
+                        corp_bssid(),
+                        None,
+                        now,
+                        SimDuration::from_millis(15),
+                        run_time,
+                    );
+                    sc.world
+                        .add_injector(defender, Pos::new(20.0, 10.0), 18.0, rogue_channel, flooder);
+                    contained_at = Some(now);
+                }
+            }
+        }
+    }
+
+    let outcome = sc
+        .world
+        .app::<DownloadClient>(sc.victim, dl_app)
+        .outcome
+        .clone();
+    let attack_succeeded = outcome
+        .as_ref()
+        .map(|o| {
+            o.error.is_none()
+                && o.verified
+                && o.file_bytes.as_deref() == Some(&sc.trojan[..])
+        })
+        .unwrap_or(false);
+    let victim_kicks = sc
+        .world
+        .mac_events
+        .iter()
+        .filter(|(_, n, e)| {
+            *n == sc.victim
+                && matches!(
+                    e,
+                    rogue_dot11::output::MacEvent::Disassociated { forced: true, .. }
+                )
+        })
+        .count();
+
+    ContainmentOutcome {
+        detected_at,
+        contained_at,
+        attack_succeeded,
+        victim_kicks,
+    }
+}
+
+/// One row of the containment table.
+#[derive(Clone, Debug)]
+pub struct ContainmentRow {
+    /// Containment active?
+    pub containment: bool,
+    /// Replications.
+    pub reps: usize,
+    /// Detection rate.
+    pub detection_rate: f64,
+    /// Attack success rate (trojan delivered + verified).
+    pub attack_success_rate: f64,
+    /// Mean forced kicks the victim received.
+    pub mean_victim_kicks: f64,
+}
+
+/// Compare attack success with and without active containment.
+pub fn containment_comparison(reps: usize, seed: Seed) -> Vec<ContainmentRow> {
+    [false, true]
+        .into_iter()
+        .map(|containment| {
+            let outcomes: Vec<ContainmentOutcome> = (0..reps)
+                .into_par_iter()
+                .map(|rep| {
+                    run_containment_once(
+                        containment,
+                        SimDuration::from_millis(200),
+                        seed.fork(containment as u64 * 5000 + rep as u64),
+                    )
+                })
+                .collect();
+            let n = outcomes.len().max(1) as f64;
+            ContainmentRow {
+                containment,
+                reps: outcomes.len(),
+                detection_rate: outcomes.iter().filter(|o| o.detected_at.is_some()).count()
+                    as f64
+                    / n,
+                attack_success_rate: outcomes.iter().filter(|o| o.attack_succeeded).count()
+                    as f64
+                    / n,
+                mean_victim_kicks: outcomes.iter().map(|o| o.victim_kicks as f64).sum::<f64>()
+                    / n,
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn without_containment_attack_succeeds() {
+        let o = run_containment_once(false, SimDuration::from_millis(200), Seed(91));
+        assert!(o.detected_at.is_some(), "{o:?}");
+        assert!(o.attack_succeeded, "{o:?}");
+        assert_eq!(o.victim_kicks, 0);
+    }
+
+    #[test]
+    fn containment_disrupts_the_attack() {
+        let o = run_containment_once(true, SimDuration::from_millis(200), Seed(92));
+        assert!(o.detected_at.is_some(), "{o:?}");
+        assert!(o.contained_at.is_some());
+        assert!(
+            o.victim_kicks >= 1,
+            "containment must keep kicking the victim: {o:?}"
+        );
+        // Note: containment is a race — if detection lands after the
+        // (fast) download it cannot help. With a 200 ms dwell, detection
+        // beats the t=2 s download start.
+        assert!(!o.attack_succeeded, "{o:?}");
+    }
+}

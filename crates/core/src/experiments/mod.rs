@@ -1,0 +1,23 @@
+//! The paper's experiments, one module per artifact (DESIGN.md §4).
+//!
+//! | module | paper artifact |
+//! |---|---|
+//! | [`e1_association`] | Figure 1 — rogue-AP association capture |
+//! | [`e2_download`] | Figure 2 / §4.1 — software-download MITM |
+//! | [`e3_vpn`] | Figure 3 / §5 — VPN-everything defence |
+//! | [`e4_wep`] | §4 premise — Airsnort/FMS WEP key recovery |
+//! | [`e5_tcp_over_tcp`] | §5.3 — TCP-encapsulation penalty |
+//! | [`e6_detection`] | §2.3 — sequence-control rogue detection |
+//! | [`e7_matrix`] | §§1–3 — the defence matrix |
+//! | [`e8_hotspot`] | extension: §1.2.2 / §5.1 — the hostile hotspot |
+//! | [`e9_containment`] | extension: §6 future work — active rogue containment |
+
+pub mod e1_association;
+pub mod e2_download;
+pub mod e3_vpn;
+pub mod e4_wep;
+pub mod e5_tcp_over_tcp;
+pub mod e6_detection;
+pub mod e7_matrix;
+pub mod e8_hotspot;
+pub mod e9_containment;

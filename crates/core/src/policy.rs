@@ -1,0 +1,120 @@
+//! Client / network security policies compared by the defence matrix.
+//!
+//! Sections 2 and 5 of the paper walk through the defences of the day and
+//! why each fails against a client-side rogue:
+//!
+//! * **Open** — nothing at all;
+//! * **WEP** — shared-key link encryption: "in the attack scenarios we
+//!   present here it provides no protection what so ever" (the attacker
+//!   recovers the key via Airsnort and clones it onto the rogue);
+//! * **WEP + MAC filter** — "accomplishes nothing more than perhaps
+//!   keeping honest people honest" (valid MACs are sniffed and cloned);
+//! * **802.1x-style** — client-to-network authentication *without mutual
+//!   authentication*: "there is no guarantee that the client connects to
+//!   the desired network and thus cannot trust the AP it connects to"
+//!   (§2.2). Modelled as open association with an extra exchange the
+//!   rogue happily fakes — the property under test (no network
+//!   authentication) is identical;
+//! * **VPN-everything** — the paper's recommendation (§5).
+
+use rogue_vpn::Transport;
+
+/// The defence deployed by the client/network pair.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ClientPolicy {
+    /// No link security.
+    Open,
+    /// WEP on APs and clients (the attacker has cracked the key).
+    Wep,
+    /// WEP plus a MAC allow-list on the legitimate AP (the attacker has
+    /// sniffed an allowed MAC).
+    WepMacFilter,
+    /// 802.1x-style one-way authentication (no network authentication).
+    Dot1xStyle,
+    /// WPA-PSK-style link security run by an *insider*: the paper notes
+    /// TKIP "still relies on a pre shared key, thus is still vulnerable
+    /// to MITM attack from valid network clients" (§2.2). The link
+    /// cipher is uncrackable here — the attacker simply *has* the PSK,
+    /// like any employee.
+    WpaPskInsider,
+    /// All client traffic through an authenticated VPN (§5), over the
+    /// given encapsulation.
+    VpnAll(Transport),
+}
+
+impl ClientPolicy {
+    /// All policies, in the order the defence matrix prints them.
+    pub fn all() -> [ClientPolicy; 6] {
+        [
+            ClientPolicy::Open,
+            ClientPolicy::Wep,
+            ClientPolicy::WepMacFilter,
+            ClientPolicy::Dot1xStyle,
+            ClientPolicy::WpaPskInsider,
+            ClientPolicy::VpnAll(Transport::Udp),
+        ]
+    }
+
+    /// Whether the link layer uses a shared-key cipher under this
+    /// policy (WEP, or the WPA-PSK stand-in which reuses the WEP plumb
+    /// with a key the attacker possesses legitimately).
+    pub fn uses_wep(self) -> bool {
+        matches!(
+            self,
+            ClientPolicy::Wep | ClientPolicy::WepMacFilter | ClientPolicy::WpaPskInsider
+        )
+    }
+
+    /// Whether the legitimate AP filters MACs.
+    pub fn uses_mac_filter(self) -> bool {
+        matches!(self, ClientPolicy::WepMacFilter)
+    }
+
+    /// Whether the victim tunnels everything.
+    pub fn uses_vpn(self) -> Option<Transport> {
+        match self {
+            ClientPolicy::VpnAll(t) => Some(t),
+            _ => None,
+        }
+    }
+
+    /// Short label for tables.
+    pub fn label(self) -> &'static str {
+        match self {
+            ClientPolicy::Open => "open",
+            ClientPolicy::Wep => "wep",
+            ClientPolicy::WepMacFilter => "wep+macfilter",
+            ClientPolicy::Dot1xStyle => "802.1x-style",
+            ClientPolicy::WpaPskInsider => "wpa-psk (insider)",
+            ClientPolicy::VpnAll(Transport::Udp) => "vpn-all (udp)",
+            ClientPolicy::VpnAll(Transport::Tcp) => "vpn-all (tcp)",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn predicates() {
+        assert!(!ClientPolicy::Open.uses_wep());
+        assert!(ClientPolicy::Wep.uses_wep());
+        assert!(ClientPolicy::WepMacFilter.uses_mac_filter());
+        assert!(!ClientPolicy::Wep.uses_mac_filter());
+        assert_eq!(
+            ClientPolicy::VpnAll(Transport::Udp).uses_vpn(),
+            Some(Transport::Udp)
+        );
+        assert_eq!(ClientPolicy::Open.uses_vpn(), None);
+    }
+
+    #[test]
+    fn labels_unique() {
+        let labels: Vec<&str> = ClientPolicy::all().iter().map(|p| p.label()).collect();
+        let mut dedup = labels.to_vec();
+        dedup.sort_unstable();
+        dedup.dedup();
+        assert_eq!(dedup.len(), labels.len());
+    }
+}

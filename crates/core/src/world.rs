@@ -1,0 +1,1031 @@
+//! The composed simulation world.
+//!
+//! A [`World`] owns the radio [`Medium`], wired switches, and a set of
+//! nodes. Each node is a machine: one [`Host`] (the IP stack), any number
+//! of radios (each playing a MAC role: station, access point, monitor, or
+//! raw injector), wired interfaces attached to switches, an optional VPN
+//! tunnel device, and applications.
+//!
+//! Everything advances through one deterministic event queue. The
+//! composition rules mirror real plumbing:
+//!
+//! * a station radio bound to a host interface behaves like a managed-mode
+//!   WiFi NIC: upward `DeliverData` becomes an Ethernet frame into the
+//!   stack; frames the stack emits on that interface are sent via the
+//!   association,
+//! * an **AP-local** radio is a master-mode NIC on the same machine (the
+//!   paper's rogue gateway `wlan0`),
+//! * an **AP-bridge** radio is a standalone infrastructure AP bridging
+//!   802.11 to a wired switch port (the legitimate `CORP` AP),
+//! * monitors capture everything decodable on their channel; injectors
+//!   transmit arbitrary frames (forged deauth).
+
+use std::collections::HashMap;
+
+use bytes::Bytes;
+use rogue_attack::DeauthFlooder;
+use rogue_detect::wired::WiredMonitor;
+use rogue_dot11::ap::ApMac;
+use rogue_dot11::monitor::Sniffer;
+use rogue_dot11::output::{MacEvent, MacOutput};
+use rogue_dot11::sta::{StaMac, StaState};
+use rogue_dot11::{ApConfig, MacAddr, StaConfig};
+use rogue_netstack::ethernet::EthFrame;
+use rogue_netstack::{Host, IfIndex, Ipv4Addr};
+use rogue_phy::{Medium, MediumParams, Pos, RadioId, TxHandle};
+use rogue_services::apps::{App, AppEvent};
+use rogue_sim::trace::Metrics;
+use rogue_sim::{EventQueue, Seed, SimDuration, SimRng, SimTime};
+use rogue_vpn::{VpnClient, VpnServer};
+
+/// Identifies a node in the world.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct NodeId(pub usize);
+
+/// Identifies a switch.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct SwitchId(pub usize);
+
+enum Event {
+    TxComplete { tx: TxHandle },
+    NodePoll { node: usize },
+    WireDeliver { node: usize, iface: IfIndex, bytes: Bytes },
+    BridgeDeliver { node: usize, radio: usize, bytes: Bytes },
+    TapDeliver { node: usize, bytes: Bytes },
+}
+
+/// A radio's MAC-layer role.
+enum RadioRole {
+    Sta { mac: StaMac, iface: IfIndex },
+    ApLocal { mac: ApMac, iface: IfIndex },
+    ApBridge { mac: ApMac, port: Option<(usize, usize)> },
+    Monitor { sniffer: Sniffer },
+    Injector { flooder: DeauthFlooder },
+}
+
+struct RadioBinding {
+    radio: RadioId,
+    role: RadioRole,
+}
+
+enum TunRole {
+    Client(VpnClient),
+    Server(VpnServer),
+}
+
+struct TunBinding {
+    iface: IfIndex,
+    role: TunRole,
+}
+
+struct Node {
+    name: String,
+    host: Host,
+    radios: Vec<RadioBinding>,
+    wired: Vec<(IfIndex, (usize, usize))>,
+    tun: Option<TunBinding>,
+    apps: Vec<Box<dyn App>>,
+    wired_monitor: Option<WiredMonitor>,
+    scheduled_poll: SimTime,
+}
+
+enum PortTarget {
+    HostIface { node: usize, iface: IfIndex },
+    Bridge { node: usize, radio: usize },
+    Tap { node: usize },
+}
+
+struct Switch {
+    latency: SimDuration,
+    /// Independent per-frame drop probability (models a lossy segment
+    /// for the E5 tunnel-transport comparison; 0 on clean LANs).
+    loss: f64,
+    /// Uniform extra delay in [0, jitter] per frame. Nonzero jitter
+    /// reorders frames — a stress knob for the TCP reassembly path.
+    jitter: SimDuration,
+    ports: Vec<PortTarget>,
+    table: HashMap<MacAddr, usize>,
+    frames: u64,
+}
+
+/// The composed world.
+pub struct World {
+    /// The shared radio medium.
+    pub medium: Medium,
+    queue: EventQueue<Event>,
+    nodes: Vec<Node>,
+    switches: Vec<Switch>,
+    radio_owner: Vec<(usize, usize)>, // RadioId.0 -> (node, radio idx)
+    rng: SimRng,
+    /// MAC protocol milestones, in order: (time, node, event).
+    pub mac_events: Vec<(SimTime, NodeId, MacEvent)>,
+    /// Application milestones, in order.
+    pub app_events: Vec<(SimTime, NodeId, AppEvent)>,
+    /// Aggregate run counters (associations, forced kicks, WEP failures,
+    /// switch frames) — mergeable across Monte-Carlo replications.
+    pub metrics: Metrics,
+}
+
+impl World {
+    /// New empty world.
+    pub fn new(seed: Seed, params: MediumParams) -> World {
+        let mut rng = SimRng::new(seed);
+        World {
+            medium: Medium::new(params, Seed(rng.next_u64())),
+            queue: EventQueue::new(),
+            nodes: Vec::new(),
+            switches: Vec::new(),
+            radio_owner: Vec::new(),
+            rng,
+            mac_events: Vec::new(),
+            app_events: Vec::new(),
+            metrics: Metrics::default(),
+        }
+    }
+
+    /// Current simulation time.
+    pub fn now(&self) -> SimTime {
+        self.queue.now()
+    }
+
+    /// Add a wired switch segment.
+    pub fn add_switch(&mut self, latency: SimDuration) -> SwitchId {
+        self.add_switch_lossy(latency, 0.0)
+    }
+
+    /// Add a wired segment that drops each frame with probability `loss`.
+    pub fn add_switch_lossy(&mut self, latency: SimDuration, loss: f64) -> SwitchId {
+        self.add_switch_impaired(latency, loss, SimDuration::ZERO)
+    }
+
+    /// Add a wired segment with loss *and* per-frame jitter (which
+    /// reorders frames whose delays overlap).
+    pub fn add_switch_impaired(
+        &mut self,
+        latency: SimDuration,
+        loss: f64,
+        jitter: SimDuration,
+    ) -> SwitchId {
+        self.switches.push(Switch {
+            latency,
+            loss,
+            jitter,
+            ports: Vec::new(),
+            table: HashMap::new(),
+            frames: 0,
+        });
+        SwitchId(self.switches.len() - 1)
+    }
+
+    /// Add a machine.
+    pub fn add_node(&mut self, name: &str) -> NodeId {
+        let host = Host::new(name, self.rng.fork(self.nodes.len() as u64 + 0x4000));
+        self.nodes.push(Node {
+            name: name.to_string(),
+            host,
+            radios: Vec::new(),
+            wired: Vec::new(),
+            tun: None,
+            apps: Vec::new(),
+            wired_monitor: None,
+            scheduled_poll: SimTime::FOREVER,
+        });
+        NodeId(self.nodes.len() - 1)
+    }
+
+    /// Node name (diagnostics).
+    pub fn node_name(&self, n: NodeId) -> &str {
+        &self.nodes[n.0].name
+    }
+
+    /// Borrow a node's IP stack.
+    pub fn host(&self, n: NodeId) -> &Host {
+        &self.nodes[n.0].host
+    }
+
+    /// Mutably borrow a node's IP stack (scenario setup: routes, NAT…).
+    pub fn host_mut(&mut self, n: NodeId) -> &mut Host {
+        &mut self.nodes[n.0].host
+    }
+
+    // ------------------------------------------------------------------
+    // Component attachment
+    // ------------------------------------------------------------------
+
+    fn register_radio(&mut self, node: usize, pos: Pos, channel: u8, power: f64) -> RadioId {
+        let id = self.medium.add_radio(pos, channel, power);
+        debug_assert_eq!(id.0 as usize, self.radio_owner.len());
+        self.radio_owner.push((node, self.nodes[node].radios.len()));
+        id
+    }
+
+    /// Attach a managed-mode (station) NIC: radio + MAC + host interface.
+    /// Returns (radio index within node, host interface index).
+    pub fn add_sta(
+        &mut self,
+        n: NodeId,
+        pos: Pos,
+        tx_power_dbm: f64,
+        cfg: StaConfig,
+        ip: Ipv4Addr,
+        prefix_len: u8,
+    ) -> (usize, IfIndex) {
+        let channel = cfg.channels[0];
+        let radio = self.register_radio(n.0, pos, channel, tx_power_dbm);
+        let iface = self.nodes[n.0].host.add_iface(cfg.mac, ip, prefix_len);
+        let mac = StaMac::new(cfg, self.rng.fork(radio.0 as u64), self.queue.now());
+        self.nodes[n.0].radios.push(RadioBinding {
+            radio,
+            role: RadioRole::Sta { mac, iface },
+        });
+        self.schedule_poll(n.0, self.queue.now());
+        (self.nodes[n.0].radios.len() - 1, iface)
+    }
+
+    /// Attach a master-mode NIC on a routing machine (the rogue gateway's
+    /// `wlan0`): AP MAC + host interface.
+    pub fn add_ap_local(
+        &mut self,
+        n: NodeId,
+        pos: Pos,
+        tx_power_dbm: f64,
+        cfg: ApConfig,
+        ip: Ipv4Addr,
+        prefix_len: u8,
+    ) -> (usize, IfIndex) {
+        let now = self.queue.now();
+        self.add_ap_local_starting_at(n, pos, tx_power_dbm, cfg, ip, prefix_len, now)
+    }
+
+    /// Like [`World::add_ap_local`], but the AP stays silent until
+    /// `start_at` — a rogue brought up mid-run.
+    #[allow(clippy::too_many_arguments)]
+    pub fn add_ap_local_starting_at(
+        &mut self,
+        n: NodeId,
+        pos: Pos,
+        tx_power_dbm: f64,
+        cfg: ApConfig,
+        ip: Ipv4Addr,
+        prefix_len: u8,
+        start_at: rogue_sim::SimTime,
+    ) -> (usize, IfIndex) {
+        let radio = self.register_radio(n.0, pos, cfg.channel, tx_power_dbm);
+        let iface = self.nodes[n.0].host.add_iface(cfg.bssid, ip, prefix_len);
+        let mac = ApMac::new_starting_at(cfg, self.rng.fork(radio.0 as u64), start_at);
+        self.nodes[n.0].radios.push(RadioBinding {
+            radio,
+            role: RadioRole::ApLocal { mac, iface },
+        });
+        self.schedule_poll(n.0, self.queue.now());
+        (self.nodes[n.0].radios.len() - 1, iface)
+    }
+
+    /// Attach a standalone infrastructure AP that bridges 802.11 to a
+    /// wired switch (the legitimate corporate AP).
+    pub fn add_ap_bridge(
+        &mut self,
+        n: NodeId,
+        pos: Pos,
+        tx_power_dbm: f64,
+        cfg: ApConfig,
+        switch: Option<SwitchId>,
+    ) -> usize {
+        let radio = self.register_radio(n.0, pos, cfg.channel, tx_power_dbm);
+        let mac = ApMac::new(cfg, self.rng.fork(radio.0 as u64), self.queue.now());
+        let radio_idx = self.nodes[n.0].radios.len();
+        let port = switch.map(|sw| {
+            let port = self.switches[sw.0].ports.len();
+            self.switches[sw.0].ports.push(PortTarget::Bridge {
+                node: n.0,
+                radio: radio_idx,
+            });
+            (sw.0, port)
+        });
+        self.nodes[n.0].radios.push(RadioBinding {
+            radio,
+            role: RadioRole::ApBridge { mac, port },
+        });
+        self.schedule_poll(n.0, self.queue.now());
+        radio_idx
+    }
+
+    /// Attach a wired NIC to a switch.
+    pub fn add_wired_iface(
+        &mut self,
+        n: NodeId,
+        switch: SwitchId,
+        mac: MacAddr,
+        ip: Ipv4Addr,
+        prefix_len: u8,
+    ) -> IfIndex {
+        let iface = self.nodes[n.0].host.add_iface(mac, ip, prefix_len);
+        let port = self.switches[switch.0].ports.len();
+        self.switches[switch.0].ports.push(PortTarget::HostIface {
+            node: n.0,
+            iface,
+        });
+        self.nodes[n.0].wired.push((iface, (switch.0, port)));
+        iface
+    }
+
+    /// Attach a monitor-mode radio (sniffer) on `channel`.
+    pub fn add_monitor(&mut self, n: NodeId, pos: Pos, channel: u8) -> usize {
+        let radio = self.register_radio(n.0, pos, channel, 15.0);
+        self.nodes[n.0].radios.push(RadioBinding {
+            radio,
+            role: RadioRole::Monitor {
+                sniffer: Sniffer::new(),
+            },
+        });
+        self.nodes[n.0].radios.len() - 1
+    }
+
+    /// Retune a node's radio (channel-hopping audits).
+    pub fn set_radio_channel(&mut self, n: NodeId, radio_idx: usize, channel: u8) {
+        let radio = self.nodes[n.0].radios[radio_idx].radio;
+        self.medium.set_channel(radio, channel);
+    }
+
+    /// Raw medium identifier of a node's radio (mobility drivers move
+    /// radios via `world.medium.set_pos`).
+    pub fn radio_id(&self, n: NodeId, radio_idx: usize) -> RadioId {
+        self.nodes[n.0].radios[radio_idx].radio
+    }
+
+    /// Borrow a monitor radio's capture buffer.
+    pub fn sniffer(&self, n: NodeId, radio_idx: usize) -> &Sniffer {
+        match &self.nodes[n.0].radios[radio_idx].role {
+            RadioRole::Monitor { sniffer } => sniffer,
+            _ => panic!("radio {radio_idx} is not a monitor"),
+        }
+    }
+
+    /// Attach a raw-frame injector (forged deauth) on `channel`.
+    pub fn add_injector(
+        &mut self,
+        n: NodeId,
+        pos: Pos,
+        tx_power_dbm: f64,
+        channel: u8,
+        flooder: DeauthFlooder,
+    ) -> usize {
+        let radio = self.register_radio(n.0, pos, channel, tx_power_dbm);
+        self.nodes[n.0].radios.push(RadioBinding {
+            radio,
+            role: RadioRole::Injector { flooder },
+        });
+        self.schedule_poll(n.0, self.queue.now());
+        self.nodes[n.0].radios.len() - 1
+    }
+
+    /// Attach a wired-segment monitor as a switch tap (span port).
+    pub fn add_wired_monitor(&mut self, n: NodeId, switch: SwitchId, monitor: WiredMonitor) {
+        self.switches[switch.0]
+            .ports
+            .push(PortTarget::Tap { node: n.0 });
+        self.nodes[n.0].wired_monitor = Some(monitor);
+    }
+
+    /// Borrow the node's wired monitor.
+    pub fn wired_monitor(&self, n: NodeId) -> Option<&WiredMonitor> {
+        self.nodes[n.0].wired_monitor.as_ref()
+    }
+
+    /// Add a tun device interface (before constructing the VPN app).
+    pub fn add_tun_iface(
+        &mut self,
+        n: NodeId,
+        mac: MacAddr,
+        ip: Ipv4Addr,
+        prefix_len: u8,
+    ) -> IfIndex {
+        self.nodes[n.0].host.add_iface(mac, ip, prefix_len)
+    }
+
+    /// Attach a VPN client to its tun interface.
+    pub fn attach_vpn_client(&mut self, n: NodeId, iface: IfIndex, client: VpnClient) {
+        self.nodes[n.0].tun = Some(TunBinding {
+            iface,
+            role: TunRole::Client(client),
+        });
+        self.schedule_poll(n.0, self.queue.now());
+    }
+
+    /// Attach a VPN endpoint to its tun interface.
+    pub fn attach_vpn_server(&mut self, n: NodeId, iface: IfIndex, server: VpnServer) {
+        self.nodes[n.0].tun = Some(TunBinding {
+            iface,
+            role: TunRole::Server(server),
+        });
+        self.schedule_poll(n.0, self.queue.now());
+    }
+
+    /// Borrow the node's VPN client.
+    pub fn vpn_client(&self, n: NodeId) -> Option<&VpnClient> {
+        match &self.nodes[n.0].tun {
+            Some(TunBinding {
+                role: TunRole::Client(c),
+                ..
+            }) => Some(c),
+            _ => None,
+        }
+    }
+
+    /// Borrow the node's VPN endpoint.
+    pub fn vpn_server(&self, n: NodeId) -> Option<&VpnServer> {
+        match &self.nodes[n.0].tun {
+            Some(TunBinding {
+                role: TunRole::Server(s),
+                ..
+            }) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Attach an application; returns its index for later downcast reads.
+    pub fn add_app(&mut self, n: NodeId, app: Box<dyn App>) -> usize {
+        self.nodes[n.0].apps.push(app);
+        self.schedule_poll(n.0, self.queue.now());
+        self.nodes[n.0].apps.len() - 1
+    }
+
+    /// Downcast-borrow an application.
+    pub fn app<T: App>(&self, n: NodeId, idx: usize) -> &T {
+        self.nodes[n.0].apps[idx]
+            .as_any()
+            .downcast_ref::<T>()
+            .expect("app type mismatch")
+    }
+
+    /// Downcast-borrow an application mutably.
+    pub fn app_mut<T: App>(&mut self, n: NodeId, idx: usize) -> &mut T {
+        self.nodes[n.0].apps[idx]
+            .as_any_mut()
+            .downcast_mut::<T>()
+            .expect("app type mismatch")
+    }
+
+    /// Borrow a station MAC.
+    pub fn sta(&self, n: NodeId, radio_idx: usize) -> &StaMac {
+        match &self.nodes[n.0].radios[radio_idx].role {
+            RadioRole::Sta { mac, .. } => mac,
+            _ => panic!("radio {radio_idx} is not a station"),
+        }
+    }
+
+    /// Borrow an AP MAC (local or bridge).
+    pub fn ap(&self, n: NodeId, radio_idx: usize) -> &ApMac {
+        match &self.nodes[n.0].radios[radio_idx].role {
+            RadioRole::ApLocal { mac, .. } | RadioRole::ApBridge { mac, .. } => mac,
+            _ => panic!("radio {radio_idx} is not an AP"),
+        }
+    }
+
+    /// Convenience: a station's current association state.
+    pub fn sta_state(&self, n: NodeId, radio_idx: usize) -> StaState {
+        self.sta(n, radio_idx).state().clone()
+    }
+
+    // ------------------------------------------------------------------
+    // Event loop
+    // ------------------------------------------------------------------
+
+    /// Run until simulated time `deadline`.
+    pub fn run_until(&mut self, deadline: SimTime) {
+        while let Some((now, ev)) = self.queue.pop_until(deadline) {
+            match ev {
+                Event::TxComplete { tx } => {
+                    let deliveries = self.medium.complete_tx(now, tx);
+                    let mut touched = Vec::new();
+                    for d in deliveries {
+                        let (node, radio) = self.radio_owner[d.to.0 as usize];
+                        self.receive_on_radio(now, node, radio, &d.bytes, d.rssi_dbm, d.channel);
+                        if !touched.contains(&node) {
+                            touched.push(node);
+                        }
+                    }
+                    for node in touched {
+                        self.poll_node(now, node);
+                    }
+                }
+                Event::NodePoll { node } => {
+                    if self.nodes[node].scheduled_poll <= now {
+                        self.nodes[node].scheduled_poll = SimTime::FOREVER;
+                    }
+                    self.poll_node(now, node);
+                }
+                Event::WireDeliver { node, iface, bytes } => {
+                    self.nodes[node].host.on_link_rx(now, iface, &bytes);
+                    self.poll_node(now, node);
+                }
+                Event::BridgeDeliver { node, radio, bytes } => {
+                    self.bridge_wired_rx(now, node, radio, &bytes);
+                    self.poll_node(now, node);
+                }
+                Event::TapDeliver { node, bytes } => {
+                    if let Some(mon) = &mut self.nodes[node].wired_monitor {
+                        mon.inspect(now, &bytes);
+                    }
+                }
+            }
+        }
+    }
+
+    fn receive_on_radio(
+        &mut self,
+        now: SimTime,
+        node: usize,
+        radio: usize,
+        bytes: &Bytes,
+        rssi: f64,
+        channel: u8,
+    ) {
+        let mut outs = Vec::new();
+        match &mut self.nodes[node].radios[radio].role {
+            RadioRole::Sta { mac, .. } => mac.on_receive(now, bytes, rssi, channel, &mut outs),
+            RadioRole::ApLocal { mac, .. } | RadioRole::ApBridge { mac, .. } => {
+                mac.on_receive(now, bytes, rssi, channel, &mut outs)
+            }
+            RadioRole::Monitor { sniffer } => sniffer.on_receive(now, bytes, rssi, channel),
+            RadioRole::Injector { .. } => {}
+        }
+        self.process_mac_outputs(now, node, radio, outs);
+    }
+
+    fn bridge_wired_rx(&mut self, now: SimTime, node: usize, radio: usize, bytes: &Bytes) {
+        let Some(eth) = EthFrame::decode(bytes) else {
+            return;
+        };
+        if let RadioRole::ApBridge { mac, .. } = &mut self.nodes[node].radios[radio].role {
+            if eth.dst.is_multicast() || mac.is_associated(eth.dst) {
+                mac.send_data(now, eth.src, eth.dst, eth.ethertype, &eth.payload);
+            }
+        }
+    }
+
+    fn process_mac_outputs(
+        &mut self,
+        now: SimTime,
+        node: usize,
+        radio: usize,
+        outs: Vec<MacOutput>,
+    ) {
+        for out in outs {
+            match out {
+                MacOutput::Tx { bytes, bitrate } => {
+                    let rid = self.nodes[node].radios[radio].radio;
+                    let (tx, end) = self.medium.begin_tx(now, rid, bytes, bitrate);
+                    self.queue.schedule(end, Event::TxComplete { tx });
+                }
+                MacOutput::SetChannel(ch) => {
+                    let rid = self.nodes[node].radios[radio].radio;
+                    self.medium.set_channel(rid, ch);
+                }
+                MacOutput::DeliverData {
+                    src,
+                    dst,
+                    ethertype,
+                    payload,
+                } => {
+                    self.deliver_up(now, node, radio, src, dst, ethertype, payload);
+                }
+                MacOutput::Event(e) => {
+                    match &e {
+                        MacEvent::Associated { .. } => self.metrics.incr("mac.associated"),
+                        MacEvent::Disassociated { forced: true, .. } => {
+                            self.metrics.incr("mac.deauth_forced")
+                        }
+                        MacEvent::Disassociated { forced: false, .. } => {
+                            self.metrics.incr("mac.assoc_lost")
+                        }
+                        MacEvent::ClientAssociated { .. } => {
+                            self.metrics.incr("mac.ap_client_joined")
+                        }
+                        MacEvent::ClientRejected { .. } => {
+                            self.metrics.incr("mac.ap_client_rejected")
+                        }
+                        MacEvent::TxFailed { .. } => self.metrics.incr("mac.tx_failed"),
+                        MacEvent::WepDecryptFailed { .. } => {
+                            self.metrics.incr("mac.wep_failed")
+                        }
+                    }
+                    self.mac_events.push((now, NodeId(node), e));
+                }
+            }
+        }
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn deliver_up(
+        &mut self,
+        now: SimTime,
+        node: usize,
+        radio: usize,
+        src: MacAddr,
+        dst: MacAddr,
+        ethertype: u16,
+        payload: Bytes,
+    ) {
+        enum Up {
+            Host(IfIndex),
+            Bridge(Option<(usize, usize)>),
+        }
+        let up = match &self.nodes[node].radios[radio].role {
+            RadioRole::Sta { iface, .. } | RadioRole::ApLocal { iface, .. } => Up::Host(*iface),
+            RadioRole::ApBridge { port, .. } => Up::Bridge(*port),
+            _ => return,
+        };
+        let frame = EthFrame::new(dst, src, ethertype, payload).encode();
+        match up {
+            Up::Host(iface) => {
+                self.nodes[node].host.on_link_rx(now, iface, &frame);
+            }
+            Up::Bridge(Some((sw, port))) => {
+                self.switch_tx(now, sw, port, frame);
+            }
+            Up::Bridge(None) => {}
+        }
+    }
+
+    fn switch_tx(&mut self, now: SimTime, sw: usize, in_port: usize, bytes: Bytes) {
+        let loss = self.switches[sw].loss;
+        if loss > 0.0 && self.rng.chance(loss) {
+            return; // frame lost on the segment
+        }
+        let jitter = self.switches[sw].jitter;
+        let extra = if jitter > SimDuration::ZERO {
+            SimDuration::from_nanos(self.rng.below(jitter.as_nanos() + 1))
+        } else {
+            SimDuration::ZERO
+        };
+        self.metrics.incr("wire.frames");
+        let (latency, targets) = {
+            let switch = &mut self.switches[sw];
+            switch.frames += 1;
+            let Some(eth) = EthFrame::decode(&bytes) else {
+                return;
+            };
+            if !eth.src.is_multicast() {
+                switch.table.insert(eth.src, in_port);
+            }
+            let out_ports: Vec<usize> = if eth.dst.is_multicast() {
+                (0..switch.ports.len()).filter(|&p| p != in_port).collect()
+            } else {
+                match switch.table.get(&eth.dst) {
+                    Some(&p) if p != in_port => vec![p],
+                    Some(_) => Vec::new(),
+                    None => (0..switch.ports.len()).filter(|&p| p != in_port).collect(),
+                }
+            };
+            // Taps always get a copy (span port semantics).
+            let mut sel: Vec<usize> = out_ports;
+            for (p, t) in switch.ports.iter().enumerate() {
+                if matches!(t, PortTarget::Tap { .. }) && !sel.contains(&p) && p != in_port {
+                    sel.push(p);
+                }
+            }
+            (switch.latency, sel)
+        };
+        for p in targets {
+            let ev = match &self.switches[sw].ports[p] {
+                PortTarget::HostIface { node, iface } => Event::WireDeliver {
+                    node: *node,
+                    iface: *iface,
+                    bytes: bytes.clone(),
+                },
+                PortTarget::Bridge { node, radio } => Event::BridgeDeliver {
+                    node: *node,
+                    radio: *radio,
+                    bytes: bytes.clone(),
+                },
+                PortTarget::Tap { node } => Event::TapDeliver {
+                    node: *node,
+                    bytes: bytes.clone(),
+                },
+            };
+            self.queue.schedule(now + latency + extra, ev);
+        }
+    }
+
+    fn poll_node(&mut self, now: SimTime, node: usize) {
+        // 1. Stack timers.
+        self.nodes[node].host.poll(now);
+
+        // 2. MAC entities.
+        let radio_count = self.nodes[node].radios.len();
+        for r in 0..radio_count {
+            let mut outs = Vec::new();
+            match &mut self.nodes[node].radios[r].role {
+                RadioRole::Sta { mac, .. } => mac.poll(now, &mut outs),
+                RadioRole::ApLocal { mac, .. } | RadioRole::ApBridge { mac, .. } => {
+                    mac.poll(now, &mut outs)
+                }
+                RadioRole::Injector { flooder } => flooder.poll(now, &mut outs),
+                RadioRole::Monitor { .. } => {}
+            }
+            self.process_mac_outputs(now, node, r, outs);
+        }
+
+        // 3. Applications (they own sockets on the host). The VPN tun
+        //    role runs FIRST: it decrypts freshly received records and
+        //    injects the inner packets, so ordinary apps observe
+        //    up-to-date socket state in the same poll (otherwise a
+        //    response arriving through the tunnel would not be seen
+        //    until the next timer, stalling inner TCP by a full RTO).
+        {
+            let n = &mut self.nodes[node];
+            let mut events = Vec::new();
+            if let Some(tun) = &mut n.tun {
+                match &mut tun.role {
+                    TunRole::Client(c) => c.poll(now, &mut n.host, &mut events),
+                    TunRole::Server(s) => s.poll(now, &mut n.host, &mut events),
+                }
+            }
+            for app in &mut n.apps {
+                app.poll(now, &mut n.host, &mut events);
+            }
+            for e in events {
+                self.app_events.push((now, NodeId(node), e));
+            }
+        }
+
+        // 4. Drain stack output, possibly several rounds (tun
+        //    encapsulation generates new transport frames).
+        for _round in 0..8 {
+            let frames = self.nodes[node].host.take_frames();
+            if frames.is_empty() {
+                break;
+            }
+            for (ifx, bytes) in frames {
+                self.dispatch_host_frame(now, node, ifx, bytes);
+            }
+        }
+
+        // 5. Schedule the next poll.
+        self.schedule_poll(node, self.node_next_wake(node));
+    }
+
+    fn dispatch_host_frame(&mut self, now: SimTime, node: usize, ifx: IfIndex, bytes: Bytes) {
+        // Tun device?
+        if let Some(tun) = &mut self.nodes[node].tun {
+            if tun.iface == ifx {
+                let mut binding = self.nodes[node].tun.take().expect("just checked");
+                match &mut binding.role {
+                    TunRole::Client(c) => {
+                        c.consume_tun_frame(now, &mut self.nodes[node].host, &bytes)
+                    }
+                    TunRole::Server(s) => {
+                        s.consume_tun_frame(now, &mut self.nodes[node].host, &bytes)
+                    }
+                }
+                self.nodes[node].tun = Some(binding);
+                return;
+            }
+        }
+        // Wired port?
+        if let Some(&(_, (sw, port))) = self.nodes[node].wired.iter().find(|(i, _)| *i == ifx) {
+            self.switch_tx(now, sw, port, bytes);
+            return;
+        }
+        // Wireless NIC?
+        let radio = self.nodes[node].radios.iter().position(|rb| match &rb.role {
+            RadioRole::Sta { iface, .. } | RadioRole::ApLocal { iface, .. } => *iface == ifx,
+            _ => false,
+        });
+        if let Some(r) = radio {
+            let Some(eth) = EthFrame::decode(&bytes) else {
+                return;
+            };
+            match &mut self.nodes[node].radios[r].role {
+                RadioRole::Sta { mac, .. } => {
+                    mac.send_data(now, eth.dst, eth.ethertype, &eth.payload);
+                }
+                RadioRole::ApLocal { mac, .. } => {
+                    mac.send_data(now, eth.src, eth.dst, eth.ethertype, &eth.payload);
+                }
+                _ => unreachable!(),
+            }
+        }
+    }
+
+    fn node_next_wake(&self, node: usize) -> SimTime {
+        let n = &self.nodes[node];
+        let mut wake = n.host.next_wake();
+        for rb in &n.radios {
+            wake = wake.min(match &rb.role {
+                RadioRole::Sta { mac, .. } => mac.next_wake(),
+                RadioRole::ApLocal { mac, .. } | RadioRole::ApBridge { mac, .. } => {
+                    mac.next_wake()
+                }
+                RadioRole::Injector { flooder } => flooder.next_wake(),
+                RadioRole::Monitor { .. } => SimTime::FOREVER,
+            });
+        }
+        for app in &n.apps {
+            wake = wake.min(app.next_wake());
+        }
+        if let Some(tun) = &n.tun {
+            wake = wake.min(match &tun.role {
+                TunRole::Client(c) => c.next_wake(),
+                TunRole::Server(s) => s.next_wake(),
+            });
+        }
+        wake
+    }
+
+    fn schedule_poll(&mut self, node: usize, wake: SimTime) {
+        if wake == SimTime::FOREVER {
+            return;
+        }
+        let at = wake.max(self.queue.now());
+        if self.nodes[node].scheduled_poll <= at {
+            return; // an earlier-or-equal poll is already pending
+        }
+        self.nodes[node].scheduled_poll = at;
+        self.queue.schedule(at, Event::NodePoll { node });
+    }
+
+    /// Schedule an immediate poll of a node — required after mutating a
+    /// host from outside the event loop (e.g. `host_mut(n).ping(…)`) on a
+    /// node that has no periodic wake source of its own.
+    pub fn kick(&mut self, n: NodeId) {
+        self.nodes[n.0].scheduled_poll = SimTime::FOREVER;
+        self.schedule_poll(n.0, self.queue.now());
+    }
+
+    /// Count of MAC events matching a predicate.
+    pub fn count_mac_events(&self, f: impl Fn(&MacEvent) -> bool) -> usize {
+        self.mac_events.iter().filter(|(_, _, e)| f(e)).count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rogue_dot11::frame::FrameBody;
+    use rogue_dot11::StaConfig;
+
+    fn corp_ap_cfg() -> ApConfig {
+        ApConfig::typical(MacAddr::local(1), "NET", 1, None)
+    }
+
+    #[test]
+    fn monitor_hears_beacons_on_its_channel_only() {
+        let mut w = World::new(Seed(1), MediumParams::default());
+        let ap = w.add_node("ap");
+        w.add_ap_bridge(ap, Pos::new(0.0, 0.0), 15.0, corp_ap_cfg(), None);
+        let snif = w.add_node("sniffer");
+        let on_channel = w.add_monitor(snif, Pos::new(5.0, 0.0), 1);
+        let off_channel = w.add_monitor(snif, Pos::new(5.0, 0.0), 6);
+        w.run_until(SimTime::from_millis(550));
+        assert!(w.sniffer(snif, on_channel).beacons().len() >= 4);
+        assert!(w.sniffer(snif, off_channel).beacons().is_empty());
+    }
+
+    #[test]
+    fn injector_frames_reach_receivers() {
+        let mut w = World::new(Seed(2), MediumParams::default());
+        let atk = w.add_node("attacker");
+        let flooder = DeauthFlooder::new(
+            MacAddr::local(1),
+            None,
+            SimTime::from_millis(10),
+            SimDuration::from_millis(100),
+            SimTime::from_millis(500),
+        );
+        w.add_injector(atk, Pos::new(0.0, 0.0), 15.0, 1, flooder);
+        let snif = w.add_node("sniffer");
+        let mon = w.add_monitor(snif, Pos::new(5.0, 0.0), 1);
+        w.run_until(SimTime::from_secs(1));
+        let deauths = w
+            .sniffer(snif, mon)
+            .captures
+            .iter()
+            .filter(|c| matches!(c.frame.body, FrameBody::Deauth { .. }))
+            .count();
+        assert_eq!(deauths, 5, "10,110,210,310,410ms");
+    }
+
+    #[test]
+    fn station_joins_ap_through_world() {
+        let mut w = World::new(Seed(3), MediumParams::default());
+        let ap = w.add_node("ap");
+        let ap_radio = w.add_ap_bridge(ap, Pos::new(0.0, 0.0), 15.0, corp_ap_cfg(), None);
+        let sta_node = w.add_node("sta");
+        let cfg = StaConfig::typical(MacAddr::local(9), "NET", None);
+        let (sta_radio, _if) = w.add_sta(
+            sta_node,
+            Pos::new(10.0, 0.0),
+            15.0,
+            cfg,
+            Ipv4Addr::new(10, 0, 0, 9),
+            24,
+        );
+        w.run_until(SimTime::from_secs(2));
+        assert_eq!(w.sta_state(sta_node, sta_radio), StaState::Associated);
+        assert!(w.ap(ap, ap_radio).is_associated(MacAddr::local(9)));
+        assert!(w
+            .count_mac_events(|e| matches!(e, MacEvent::Associated { .. }))
+            >= 1);
+    }
+
+    #[test]
+    fn wired_monitor_tap_sees_switch_traffic() {
+        let mut w = World::new(Seed(4), MediumParams::default());
+        let sw = w.add_switch(SimDuration::from_micros(10));
+        let a = w.add_node("a");
+        w.add_wired_iface(a, sw, MacAddr::local(1), Ipv4Addr::new(10, 0, 0, 1), 24);
+        let b = w.add_node("b");
+        w.add_wired_iface(b, sw, MacAddr::local(2), Ipv4Addr::new(10, 0, 0, 2), 24);
+        let m = w.add_node("monitor");
+        w.add_wired_monitor(m, sw, rogue_detect::wired::WiredMonitor::new([MacAddr::local(1)]));
+        // a pings b: ARP + echo both cross the switch.
+        w.host_mut(a).ping(SimTime::ZERO, Ipv4Addr::new(10, 0, 0, 2), 1);
+        w.kick(a);
+        w.run_until(SimTime::from_millis(100));
+        let mon = w.wired_monitor(m).expect("attached");
+        assert!(mon.inspected >= 2, "tap must see the exchange");
+        // b's MAC is unregistered: exactly one stranger alarm.
+        assert_eq!(mon.alarms.len(), 1);
+        assert_eq!(mon.alarms[0].subject, MacAddr::local(2));
+    }
+
+    #[test]
+    fn switch_learning_limits_flooding() {
+        let mut w = World::new(Seed(5), MediumParams::default());
+        let sw = w.add_switch(SimDuration::from_micros(10));
+        let a = w.add_node("a");
+        w.add_wired_iface(a, sw, MacAddr::local(1), Ipv4Addr::new(10, 0, 0, 1), 24);
+        let b = w.add_node("b");
+        w.add_wired_iface(b, sw, MacAddr::local(2), Ipv4Addr::new(10, 0, 0, 2), 24);
+        let c = w.add_node("c");
+        w.add_wired_iface(c, sw, MacAddr::local(3), Ipv4Addr::new(10, 0, 0, 3), 24);
+        // Warm up: a <-> b unicast exchange teaches the switch.
+        w.host_mut(a).ping(SimTime::ZERO, Ipv4Addr::new(10, 0, 0, 2), 1);
+        w.kick(a);
+        w.run_until(SimTime::from_millis(50));
+        let before = w.host(c).delivered;
+        // More unicast a -> b: c must see none of it.
+        let now = w.now();
+        w.host_mut(a).ping(now, Ipv4Addr::new(10, 0, 0, 2), 2);
+        w.kick(a);
+        w.run_until(now + SimDuration::from_millis(50));
+        assert_eq!(w.host(c).delivered, before, "learned unicast not flooded");
+        // And the pings themselves worked.
+        assert!(w
+            .host_mut(a)
+            .take_events()
+            .iter()
+            .any(|e| matches!(e, rogue_netstack::HostEvent::PingReply { seq: 2, .. })));
+    }
+
+    #[test]
+    fn metrics_count_protocol_milestones() {
+        let mut w = World::new(Seed(8), MediumParams::default());
+        let ap = w.add_node("ap");
+        w.add_ap_bridge(ap, Pos::new(0.0, 0.0), 15.0, corp_ap_cfg(), None);
+        let sta = w.add_node("sta");
+        let cfg = StaConfig::typical(MacAddr::local(9), "NET", None);
+        w.add_sta(sta, Pos::new(5.0, 0.0), 15.0, cfg, Ipv4Addr::new(10, 0, 0, 9), 24);
+        w.run_until(SimTime::from_secs(2));
+        assert!(w.metrics.counter("mac.associated") >= 1);
+        assert!(w.metrics.counter("mac.ap_client_joined") >= 1);
+        assert_eq!(w.metrics.counter("mac.deauth_forced"), 0);
+    }
+
+    #[test]
+    fn app_downcast_accessors() {
+        use rogue_services::traffic::PingApp;
+        let mut w = World::new(Seed(6), MediumParams::default());
+        let n = w.add_node("n");
+        let idx = w.add_app(
+            n,
+            Box::new(PingApp::new(
+                Ipv4Addr::new(10, 0, 0, 1),
+                SimTime::FOREVER,
+                SimDuration::from_secs(1),
+            )),
+        );
+        assert_eq!(w.app::<PingApp>(n, idx).sent, 0);
+        w.app_mut::<PingApp>(n, idx).sent = 5;
+        assert_eq!(w.app::<PingApp>(n, idx).sent, 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "app type mismatch")]
+    fn app_downcast_type_checked() {
+        use rogue_services::traffic::{PingApp, UdpSink};
+        let mut w = World::new(Seed(7), MediumParams::default());
+        let n = w.add_node("n");
+        let idx = w.add_app(
+            n,
+            Box::new(PingApp::new(
+                Ipv4Addr::new(10, 0, 0, 1),
+                SimTime::FOREVER,
+                SimDuration::from_secs(1),
+            )),
+        );
+        let _ = w.app::<UdpSink>(n, idx);
+    }
+}

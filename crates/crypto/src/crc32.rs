@@ -1,0 +1,145 @@
+//! CRC-32 (IEEE 802.3 polynomial, reflected), as used by WEP for its
+//! "Integrity Check Value".
+//!
+//! CRC-32 is *linear*: `crc(a ⊕ b) = crc(a) ⊕ crc(b) ⊕ crc(0…0)`. That
+//! linearity is why WEP's ICV provides no cryptographic integrity — an
+//! attacker can flip plaintext bits through the RC4 stream and patch the
+//! encrypted ICV to match. [`bitflip_patch`] implements exactly that
+//! textbook forgery; `rogue-dot11` uses it in a test to demonstrate the
+//! weakness the paper alludes to ("WEP's weaknesses have long been
+//! legendary").
+
+/// Lazily built reflected CRC-32 table for polynomial 0xEDB88320.
+fn table() -> &'static [u32; 256] {
+    use std::sync::OnceLock;
+    static TABLE: OnceLock<[u32; 256]> = OnceLock::new();
+    TABLE.get_or_init(|| {
+        let mut t = [0u32; 256];
+        for (n, slot) in t.iter_mut().enumerate() {
+            let mut c = n as u32;
+            for _ in 0..8 {
+                c = if c & 1 != 0 {
+                    0xEDB8_8320 ^ (c >> 1)
+                } else {
+                    c >> 1
+                };
+            }
+            *slot = c;
+        }
+        t
+    })
+}
+
+/// CRC-32 of `data` (init 0xFFFFFFFF, final XOR 0xFFFFFFFF — the standard
+/// "ethernet" CRC).
+pub fn crc32(data: &[u8]) -> u32 {
+    update(0xFFFF_FFFF, data) ^ 0xFFFF_FFFF
+}
+
+/// Streaming update on the *raw* (pre-final-XOR) register.
+pub fn update(mut state: u32, data: &[u8]) -> u32 {
+    let t = table();
+    for &b in data {
+        state = t[((state ^ b as u32) & 0xFF) as usize] ^ (state >> 8);
+    }
+    state
+}
+
+/// Incremental CRC-32 hasher.
+#[derive(Clone, Debug)]
+pub struct Crc32 {
+    state: u32,
+}
+
+impl Default for Crc32 {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Crc32 {
+    /// Fresh hasher.
+    pub fn new() -> Self {
+        Crc32 { state: 0xFFFF_FFFF }
+    }
+
+    /// Absorb bytes.
+    pub fn write(&mut self, data: &[u8]) {
+        self.state = update(self.state, data);
+    }
+
+    /// Finish, producing the CRC.
+    pub fn finish(&self) -> u32 {
+        self.state ^ 0xFFFF_FFFF
+    }
+}
+
+/// Given a plaintext-XOR mask `delta` for a message of length `len`,
+/// return the XOR mask to apply to the CRC so it remains valid:
+/// `crc(p ⊕ delta) = crc(p) ⊕ patch`. This is the WEP bit-flip forgery
+/// primitive: the attacker XORs `delta` into the ciphertext body and
+/// `patch` into the encrypted ICV.
+pub fn bitflip_patch(delta: &[u8], len: usize) -> u32 {
+    assert!(delta.len() <= len);
+    // crc(p ^ d) ^ crc(p) — with the affine init/final constants this works
+    // out to crc0(d) where crc0 is CRC with zero init and zero final-xor
+    // applied over the full-length delta (delta zero-padded to len is the
+    // same as zero-padding on the right *before* the CRC'd region ends).
+    let mut padded = vec![0u8; len];
+    padded[..delta.len()].copy_from_slice(delta);
+    // Raw register with init 0 over padded delta, no final xor:
+    let mut state = 0u32;
+    let t = table();
+    for &b in &padded {
+        state = t[((state ^ b as u32) & 0xFF) as usize] ^ (state >> 8);
+    }
+    state
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_vectors() {
+        assert_eq!(crc32(b""), 0x0000_0000);
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b"The quick brown fox jumps over the lazy dog"), 0x414F_A339);
+    }
+
+    #[test]
+    fn incremental_matches_oneshot() {
+        let data = b"hello wireless world";
+        let mut h = Crc32::new();
+        h.write(&data[..5]);
+        h.write(&data[5..]);
+        assert_eq!(h.finish(), crc32(data));
+    }
+
+    #[test]
+    fn linearity_enables_bitflip_forgery() {
+        // The WEP attack in miniature: flip plaintext bits without knowing
+        // the plaintext and keep the CRC valid.
+        let plaintext = b"GET /file.tgz HTTP/1.0\r\n".to_vec();
+        let crc = crc32(&plaintext);
+
+        // Attacker chooses a delta (here: change 'file' -> 'evil').
+        let mut delta = vec![0u8; plaintext.len()];
+        for (i, (a, b)) in b"file".iter().zip(b"evil").enumerate() {
+            delta[5 + i] = a ^ b;
+        }
+        let patch = bitflip_patch(&delta, plaintext.len());
+
+        let mut forged = plaintext.clone();
+        for (f, d) in forged.iter_mut().zip(&delta) {
+            *f ^= d;
+        }
+        assert_eq!(&forged[5..9], b"evil");
+        assert_eq!(crc32(&forged), crc ^ patch, "patched CRC must verify");
+    }
+
+    #[test]
+    fn bitflip_patch_zero_delta_is_zero() {
+        assert_eq!(bitflip_patch(&[0, 0, 0], 10), 0);
+    }
+}

@@ -1,0 +1,163 @@
+//! HMAC-SHA1 (RFC 2104) and a small HKDF-style key-derivation helper.
+//!
+//! The VPN (Section 5 of the paper) needs two things from a MAC: record
+//! integrity (so in-flight rewrites are *detected*, not silently accepted
+//! the way WEP's CRC ICV accepts them) and mutual authentication against a
+//! pre-established secret (requirement 2 of §5.2: "authentication
+//! information preestablished").
+
+use crate::sha1::Sha1;
+
+const BLOCK: usize = 64;
+
+/// HMAC-SHA1 of `msg` under `key`, full 20-byte tag.
+pub fn hmac_sha1(key: &[u8], msg: &[u8]) -> [u8; 20] {
+    let mut k = [0u8; BLOCK];
+    if key.len() > BLOCK {
+        let d = {
+            let mut h = Sha1::new();
+            h.update(key);
+            h.finalize()
+        };
+        k[..20].copy_from_slice(&d);
+    } else {
+        k[..key.len()].copy_from_slice(key);
+    }
+
+    let mut inner = Sha1::new();
+    let ipad: Vec<u8> = k.iter().map(|b| b ^ 0x36).collect();
+    inner.update(&ipad);
+    inner.update(msg);
+    let inner_digest = inner.finalize();
+
+    let mut outer = Sha1::new();
+    let opad: Vec<u8> = k.iter().map(|b| b ^ 0x5C).collect();
+    outer.update(&opad);
+    outer.update(&inner_digest);
+    outer.finalize()
+}
+
+/// HMAC-SHA1 truncated to 12 bytes (the common 96-bit wire tag).
+pub fn hmac_sha1_96(key: &[u8], msg: &[u8]) -> [u8; 12] {
+    let full = hmac_sha1(key, msg);
+    let mut out = [0u8; 12];
+    out.copy_from_slice(&full[..12]);
+    out
+}
+
+/// Constant-shape tag comparison. (We still compare all bytes rather than
+/// early-returning; timing side channels are out of scope for a simulator
+/// but the habit is free.)
+pub fn verify_tag(expected: &[u8], got: &[u8]) -> bool {
+    if expected.len() != got.len() {
+        return false;
+    }
+    let mut diff = 0u8;
+    for (a, b) in expected.iter().zip(got) {
+        diff |= a ^ b;
+    }
+    diff == 0
+}
+
+/// HKDF-style expand: derive `out.len()` bytes from `secret` bound to
+/// `label` and `context`, by counter-mode HMAC. Used to split a DH shared
+/// secret into directional cipher and MAC keys.
+pub fn derive_key(secret: &[u8], label: &str, context: &[u8], out: &mut [u8]) {
+    let mut counter: u32 = 1;
+    let mut offset = 0;
+    while offset < out.len() {
+        let mut msg = Vec::with_capacity(label.len() + context.len() + 4);
+        msg.extend_from_slice(&counter.to_be_bytes());
+        msg.extend_from_slice(label.as_bytes());
+        msg.extend_from_slice(context);
+        let block = hmac_sha1(secret, &msg);
+        let take = (out.len() - offset).min(20);
+        out[offset..offset + take].copy_from_slice(&block[..take]);
+        offset += take;
+        counter += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hex(bytes: &[u8]) -> String {
+        bytes.iter().map(|b| format!("{b:02x}")).collect()
+    }
+
+    // RFC 2202 HMAC-SHA1 test vectors.
+    #[test]
+    fn rfc2202_case1() {
+        let key = [0x0b; 20];
+        assert_eq!(
+            hex(&hmac_sha1(&key, b"Hi There")),
+            "b617318655057264e28bc0b6fb378c8ef146be00"
+        );
+    }
+
+    #[test]
+    fn rfc2202_case2() {
+        assert_eq!(
+            hex(&hmac_sha1(b"Jefe", b"what do ya want for nothing?")),
+            "effcdf6ae5eb2fa2d27416d5f184df9c259a7c79"
+        );
+    }
+
+    #[test]
+    fn rfc2202_case3() {
+        let key = [0xaa; 20];
+        let msg = [0xdd; 50];
+        assert_eq!(
+            hex(&hmac_sha1(&key, &msg)),
+            "125d7342b9ac11cd91a39af48aa17b4f63f175d3"
+        );
+    }
+
+    #[test]
+    fn rfc2202_long_key() {
+        let key = [0xaa; 80];
+        assert_eq!(
+            hex(&hmac_sha1(
+                &key,
+                b"Test Using Larger Than Block-Size Key - Hash Key First"
+            )),
+            "aa4ae5e15272d00e95705637ce8a3b55ed402112"
+        );
+    }
+
+    #[test]
+    fn truncated_tag_is_prefix() {
+        let t = hmac_sha1(b"k", b"m");
+        let t96 = hmac_sha1_96(b"k", b"m");
+        assert_eq!(&t[..12], &t96[..]);
+    }
+
+    #[test]
+    fn verify_tag_behaviour() {
+        let a = [1u8, 2, 3];
+        assert!(verify_tag(&a, &[1, 2, 3]));
+        assert!(!verify_tag(&a, &[1, 2, 4]));
+        assert!(!verify_tag(&a, &[1, 2]));
+    }
+
+    #[test]
+    fn derive_key_is_deterministic_and_label_separated() {
+        let mut a = [0u8; 32];
+        let mut b = [0u8; 32];
+        let mut c = [0u8; 32];
+        derive_key(b"shared", "client->server", b"ctx", &mut a);
+        derive_key(b"shared", "client->server", b"ctx", &mut b);
+        derive_key(b"shared", "server->client", b"ctx", &mut c);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn derive_key_long_output() {
+        let mut out = [0u8; 100];
+        derive_key(b"s", "label", b"", &mut out);
+        // Distinct HMAC blocks: the first 20 bytes differ from the next 20.
+        assert_ne!(&out[..20], &out[20..40]);
+    }
+}

@@ -1,0 +1,144 @@
+//! RC4 stream cipher (Rivest, 1987; public description 1994).
+//!
+//! WEP keys frames as `RC4(IV ∥ secret)`, which is exactly the keying
+//! structure the FMS attack exploits. The key-scheduling algorithm (KSA)
+//! and pseudo-random generation algorithm (PRGA) below follow the original
+//! description; [`crate::fms`] re-implements KSA prefixes independently so
+//! the attack genuinely "attacks" this code rather than sharing it.
+
+/// RC4 cipher state.
+#[derive(Clone)]
+pub struct Rc4 {
+    s: [u8; 256],
+    i: u8,
+    j: u8,
+}
+
+impl Rc4 {
+    /// Key-schedule a new cipher. Key length 1..=256 bytes.
+    pub fn new(key: &[u8]) -> Rc4 {
+        assert!(
+            !key.is_empty() && key.len() <= 256,
+            "RC4 key must be 1..=256 bytes"
+        );
+        let mut s = [0u8; 256];
+        for (i, v) in s.iter_mut().enumerate() {
+            *v = i as u8;
+        }
+        let mut j: u8 = 0;
+        for i in 0..256 {
+            j = j
+                .wrapping_add(s[i])
+                .wrapping_add(key[i % key.len()]);
+            s.swap(i, j as usize);
+        }
+        Rc4 { s, i: 0, j: 0 }
+    }
+
+    /// Produce the next keystream byte.
+    pub fn next_byte(&mut self) -> u8 {
+        self.i = self.i.wrapping_add(1);
+        self.j = self.j.wrapping_add(self.s[self.i as usize]);
+        self.s.swap(self.i as usize, self.j as usize);
+        let idx = self.s[self.i as usize].wrapping_add(self.s[self.j as usize]);
+        self.s[idx as usize]
+    }
+
+    /// XOR the keystream into `data` in place (encrypt == decrypt).
+    pub fn apply_keystream(&mut self, data: &mut [u8]) {
+        for b in data {
+            *b ^= self.next_byte();
+        }
+    }
+
+    /// Convenience: encrypt/decrypt into a fresh vector.
+    pub fn process(key: &[u8], data: &[u8]) -> Vec<u8> {
+        let mut out = data.to_vec();
+        Rc4::new(key).apply_keystream(&mut out);
+        out
+    }
+
+    /// Skip `n` keystream bytes (used by tests and the FMS oracle).
+    pub fn skip(&mut self, n: usize) {
+        for _ in 0..n {
+            self.next_byte();
+        }
+    }
+}
+
+impl std::fmt::Debug for Rc4 {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        // Never print the permutation: it is key material.
+        write!(f, "Rc4 {{ i: {}, j: {} }}", self.i, self.j)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hex(bytes: &[u8]) -> String {
+        bytes.iter().map(|b| format!("{b:02x}")).collect()
+    }
+
+    // Vectors from the original 1994 sci.crypt posting / common test suites.
+    #[test]
+    fn vector_key_key() {
+        let out = Rc4::process(b"Key", b"Plaintext");
+        assert_eq!(hex(&out), "bbf316e8d940af0ad3");
+    }
+
+    #[test]
+    fn vector_wiki() {
+        let out = Rc4::process(b"Wiki", b"pedia");
+        assert_eq!(hex(&out), "1021bf0420");
+    }
+
+    #[test]
+    fn vector_secret() {
+        let out = Rc4::process(b"Secret", b"Attack at dawn");
+        assert_eq!(hex(&out), "45a01f645fc35b383552544b9bf5");
+    }
+
+    // RFC 6229 keystream vectors (40-bit key 0x0102030405).
+    #[test]
+    fn rfc6229_40bit_keystream() {
+        let mut c = Rc4::new(&[0x01, 0x02, 0x03, 0x04, 0x05]);
+        let ks: Vec<u8> = (0..16).map(|_| c.next_byte()).collect();
+        assert_eq!(hex(&ks), "b2396305f03dc027ccc3524a0a1118a8");
+    }
+
+    #[test]
+    fn roundtrip() {
+        let msg = b"the quick brown fox jumps over the lazy dog";
+        let enc = Rc4::process(b"SECRET", msg);
+        assert_ne!(&enc[..], &msg[..]);
+        let dec = Rc4::process(b"SECRET", &enc);
+        assert_eq!(&dec[..], &msg[..]);
+    }
+
+    #[test]
+    fn skip_matches_manual_advance() {
+        let mut a = Rc4::new(b"abcdef");
+        let mut b = Rc4::new(b"abcdef");
+        a.skip(100);
+        for _ in 0..100 {
+            b.next_byte();
+        }
+        assert_eq!(a.next_byte(), b.next_byte());
+    }
+
+    #[test]
+    #[should_panic(expected = "1..=256")]
+    fn empty_key_panics() {
+        Rc4::new(b"");
+    }
+
+    #[test]
+    fn debug_hides_state() {
+        let c = Rc4::new(b"topsecret");
+        let s = format!("{c:?}");
+        assert!(!s.contains("topsecret"));
+        assert!(s.contains("Rc4"));
+    }
+}

@@ -1,0 +1,96 @@
+//! Property tests for the DH big-integer arithmetic — the division
+//! algorithm (Knuth D) is the classic place for carry bugs, and a wrong
+//! quotient here would silently corrupt every VPN handshake.
+
+use proptest::prelude::*;
+use rogue_crypto::bigint::BigUint;
+use rogue_crypto::dh::{DhKeyPair, EXPONENT_LEN};
+
+/// Schoolbook big-endian byte addition (test oracle only).
+fn add_be(a: &[u8], b: &[u8]) -> Vec<u8> {
+    let n = a.len().max(b.len()) + 1;
+    let mut out = vec![0u8; n];
+    let mut carry = 0u16;
+    for i in 0..n {
+        let da = if i < a.len() { a[a.len() - 1 - i] as u16 } else { 0 };
+        let db = if i < b.len() { b[b.len() - 1 - i] as u16 } else { 0 };
+        let s = da + db + carry;
+        out[n - 1 - i] = s as u8;
+        carry = s >> 8;
+    }
+    out
+}
+
+proptest! {
+    /// a = q·b + r with r < b, for arbitrary operands.
+    #[test]
+    fn div_rem_invariant(a in proptest::collection::vec(any::<u8>(), 0..48),
+                         b in proptest::collection::vec(any::<u8>(), 1..24)) {
+        let a_n = BigUint::from_be_bytes(&a);
+        let b_n = BigUint::from_be_bytes(&b);
+        prop_assume!(!b_n.is_zero());
+        let (q, r) = a_n.div_rem(&b_n);
+        prop_assert!(r < b_n, "remainder must be reduced");
+        // Reconstruct via the byte-level oracle.
+        let qb = q.mul(&b_n);
+        let len = a.len().max(1) + b.len() + 2;
+        let sum = add_be(&qb.to_be_bytes(len), &r.to_be_bytes(len));
+        let sum_n = BigUint::from_be_bytes(&sum);
+        prop_assert_eq!(sum_n, a_n, "q*b + r != a");
+    }
+
+    /// mod_reduce agrees with div_rem's remainder.
+    #[test]
+    fn mod_reduce_consistent(a in proptest::collection::vec(any::<u8>(), 0..40),
+                             m in proptest::collection::vec(any::<u8>(), 1..16)) {
+        let a_n = BigUint::from_be_bytes(&a);
+        let m_n = BigUint::from_be_bytes(&m);
+        prop_assume!(!m_n.is_zero());
+        prop_assert_eq!(a_n.mod_reduce(&m_n), a_n.div_rem(&m_n).1);
+    }
+
+    /// pow_mod agrees with a u128 reference for word-sized inputs.
+    #[test]
+    fn pow_mod_matches_u128(b in 0u64..=u64::MAX, e in 0u64..4096, m in 2u32..=u32::MAX) {
+        let m64 = m as u64;
+        let mut want: u128 = 1;
+        let mut base = (b % m64) as u128;
+        let mut exp = e;
+        while exp > 0 {
+            if exp & 1 == 1 {
+                want = want * base % m64 as u128;
+            }
+            base = base * base % m64 as u128;
+            exp >>= 1;
+        }
+        let got = BigUint::from_u64(b).pow_mod(&BigUint::from_u64(e), &BigUint::from_u64(m64));
+        prop_assert_eq!(got, BigUint::from_u64(want as u64));
+    }
+
+    /// Byte serialization round-trips at any sufficient width.
+    #[test]
+    fn byte_roundtrip(bytes in proptest::collection::vec(any::<u8>(), 0..64),
+                      pad in 0usize..16) {
+        let n = BigUint::from_be_bytes(&bytes);
+        let width = bytes.len() + pad;
+        if width > 0 {
+            let out = n.to_be_bytes(width);
+            prop_assert_eq!(BigUint::from_be_bytes(&out), n);
+        }
+    }
+}
+
+/// Full-width DH agreement symmetry across random keypairs (few cases —
+/// each is a pair of 1024-bit exponentiations).
+#[test]
+fn dh_agreement_symmetry_random() {
+    for i in 0..4u8 {
+        let mut ra = [i; EXPONENT_LEN];
+        ra[0] = i.wrapping_mul(37).wrapping_add(1);
+        let mut rb = [i.wrapping_add(100); EXPONENT_LEN];
+        rb[5] = i.wrapping_mul(11).wrapping_add(3);
+        let a = DhKeyPair::generate(&ra);
+        let b = DhKeyPair::generate(&rb);
+        assert_eq!(a.agree(&b.public).unwrap(), b.agree(&a.public).unwrap());
+    }
+}

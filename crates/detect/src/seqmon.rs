@@ -1,0 +1,250 @@
+//! Sequence-control monitoring (Wright's MAC-spoof detector).
+//!
+//! Every 802.11 transmitter stamps frames from a single modulo-4096
+//! counter. Two radios sharing one address — the legitimate AP and the
+//! BSSID-cloning rogue — cannot share a counter, so an observer sees the
+//! merged stream jump backward over and over. Occasional backward jumps
+//! happen legitimately (counter wrap, reordered capture), so the detector
+//! requires several anomalies within a window before alarming.
+
+use std::collections::HashMap;
+
+use rogue_dot11::monitor::Sniffer;
+use rogue_dot11::MacAddr;
+use rogue_sim::{SimDuration, SimTime};
+
+use crate::{Alarm, AlarmKind};
+
+/// Detector tuning.
+#[derive(Clone, Debug)]
+pub struct SeqMonConfig {
+    /// Forward deltas up to this are normal (allows missed frames).
+    pub max_normal_gap: u16,
+    /// Deltas at least this close to 4096 are treated as wrap, not
+    /// anomaly (a wrap shows as a *small* forward delta, but reordered
+    /// captures can produce tiny backward steps; tolerate them).
+    pub reorder_tolerance: u16,
+    /// Anomalies within [`SeqMonConfig::window`] needed to alarm.
+    pub alarm_threshold: u32,
+    /// Sliding evidence window.
+    pub window: SimDuration,
+}
+
+impl Default for SeqMonConfig {
+    fn default() -> Self {
+        SeqMonConfig {
+            max_normal_gap: 64,
+            reorder_tolerance: 8,
+            alarm_threshold: 3,
+            window: SimDuration::from_secs(2),
+        }
+    }
+}
+
+struct TaState {
+    last_seq: Option<u16>,
+    last_channel: Option<u8>,
+    anomaly_times: Vec<SimTime>,
+    alarmed_seq: bool,
+    alarmed_chan: bool,
+}
+
+/// The monitor.
+pub struct SeqMonitor {
+    cfg: SeqMonConfig,
+    per_ta: HashMap<MacAddr, TaState>,
+    /// Raised alarms, in order.
+    pub alarms: Vec<Alarm>,
+    /// Frames observed.
+    pub observed: u64,
+}
+
+impl SeqMonitor {
+    /// Monitor with default tuning.
+    pub fn new(cfg: SeqMonConfig) -> SeqMonitor {
+        SeqMonitor {
+            cfg,
+            per_ta: HashMap::new(),
+            alarms: Vec::new(),
+            observed: 0,
+        }
+    }
+
+    /// Observe one frame header.
+    pub fn observe(&mut self, at: SimTime, ta: MacAddr, seq: u16, channel: u8) {
+        self.observed += 1;
+        let st = self.per_ta.entry(ta).or_insert(TaState {
+            last_seq: None,
+            last_channel: None,
+            anomaly_times: Vec::new(),
+            alarmed_seq: false,
+            alarmed_chan: false,
+        });
+
+        // Channel divergence is immediate, unambiguous evidence.
+        if let Some(prev) = st.last_channel {
+            if prev != channel && !st.alarmed_chan {
+                st.alarmed_chan = true;
+                self.alarms.push(Alarm {
+                    at,
+                    subject: ta,
+                    kind: AlarmKind::ChannelDivergence,
+                    detail: format!("heard on channel {prev} and {channel}"),
+                });
+            }
+        }
+        st.last_channel = Some(channel);
+
+        if let Some(last) = st.last_seq {
+            let delta = seq.wrapping_sub(last) & 0x0FFF;
+            let is_anomaly = delta == 0 && seq != last
+                || (delta > self.cfg.max_normal_gap
+                    && delta < 4096 - self.cfg.reorder_tolerance);
+            if is_anomaly {
+                st.anomaly_times.push(at);
+                let window_start = SimTime(
+                    at.as_nanos()
+                        .saturating_sub(self.cfg.window.as_nanos()),
+                );
+                st.anomaly_times.retain(|&t| t >= window_start);
+                if st.anomaly_times.len() as u32 >= self.cfg.alarm_threshold && !st.alarmed_seq {
+                    st.alarmed_seq = true;
+                    self.alarms.push(Alarm {
+                        at,
+                        subject: ta,
+                        kind: AlarmKind::SequenceAnomaly,
+                        detail: format!(
+                            "{} interleaved-counter jumps within {}",
+                            st.anomaly_times.len(),
+                            self.cfg.window
+                        ),
+                    });
+                }
+            }
+        }
+        st.last_seq = Some(seq);
+    }
+
+    /// Feed every frame a sniffer captured from transmitter `ta`.
+    pub fn feed_sniffer(&mut self, sniffer: &Sniffer, ta: MacAddr) {
+        for (at, seq, channel, _) in sniffer.seq_stream(ta) {
+            self.observe(at, ta, seq, channel);
+        }
+    }
+
+    /// The earliest alarm of a given kind, if any.
+    pub fn first_alarm(&self, kind: AlarmKind) -> Option<&Alarm> {
+        self.alarms.iter().find(|a| a.kind == kind)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(ms: u64) -> SimTime {
+        SimTime::from_millis(ms)
+    }
+
+    #[test]
+    fn single_counter_is_clean() {
+        let mut m = SeqMonitor::new(SeqMonConfig::default());
+        let ta = MacAddr::local(1);
+        for i in 0..500u16 {
+            m.observe(t(i as u64 * 10), ta, i % 4096, 1);
+        }
+        assert!(m.alarms.is_empty());
+    }
+
+    #[test]
+    fn counter_wrap_is_not_an_anomaly() {
+        let mut m = SeqMonitor::new(SeqMonConfig::default());
+        let ta = MacAddr::local(1);
+        for i in 0..200u16 {
+            m.observe(t(i as u64 * 10), ta, (4000 + i) % 4096, 1);
+        }
+        assert!(m.alarms.is_empty(), "wrap must not alarm: {:?}", m.alarms);
+    }
+
+    #[test]
+    fn gaps_from_missed_frames_tolerated() {
+        let mut m = SeqMonitor::new(SeqMonConfig::default());
+        let ta = MacAddr::local(1);
+        // Monitor misses most frames: deltas of ~40.
+        for i in 0..100u16 {
+            m.observe(t(i as u64 * 100), ta, (i * 40) % 4096, 1);
+        }
+        assert!(m.alarms.is_empty());
+    }
+
+    #[test]
+    fn interleaved_counters_alarm() {
+        let mut m = SeqMonitor::new(SeqMonConfig::default());
+        let ta = MacAddr::local(1);
+        // Legit AP around seq 100+, rogue around seq 3000+: merged stream.
+        let mut legit = 100u16;
+        let mut rogue = 3000u16;
+        for i in 0..40 {
+            let (seq, src_legit) = if i % 2 == 0 {
+                legit += 1;
+                (legit, true)
+            } else {
+                rogue += 1;
+                (rogue, false)
+            };
+            let _ = src_legit;
+            m.observe(t(i as u64 * 50), ta, seq % 4096, 1);
+        }
+        let alarm = m
+            .first_alarm(AlarmKind::SequenceAnomaly)
+            .expect("interleaving must alarm");
+        assert!(alarm.at <= t(2000), "detected quickly, got {}", alarm.at);
+    }
+
+    #[test]
+    fn channel_divergence_alarms_immediately() {
+        let mut m = SeqMonitor::new(SeqMonConfig::default());
+        let ta = MacAddr::local(1);
+        m.observe(t(0), ta, 1, 1);
+        m.observe(t(10), ta, 2, 6);
+        let alarm = m.first_alarm(AlarmKind::ChannelDivergence).expect("alarm");
+        assert_eq!(alarm.at, t(10));
+        // Only alarmed once.
+        m.observe(t(20), ta, 3, 1);
+        assert_eq!(
+            m.alarms
+                .iter()
+                .filter(|a| a.kind == AlarmKind::ChannelDivergence)
+                .count(),
+            1
+        );
+    }
+
+    #[test]
+    fn anomalies_outside_window_do_not_accumulate() {
+        let cfg = SeqMonConfig {
+            window: SimDuration::from_millis(100),
+            ..SeqMonConfig::default()
+        };
+        let mut m = SeqMonitor::new(cfg);
+        let ta = MacAddr::local(1);
+        // One big jump every second: never 3 within 100 ms.
+        let mut seq = 0u16;
+        for i in 0..20 {
+            seq = (seq + 2000) % 4096;
+            m.observe(t(i * 1000), ta, seq, 1);
+        }
+        assert!(m.first_alarm(AlarmKind::SequenceAnomaly).is_none());
+    }
+
+    #[test]
+    fn distinct_transmitters_tracked_separately() {
+        let mut m = SeqMonitor::new(SeqMonConfig::default());
+        // Two different TAs at wildly different counters: fine.
+        for i in 0..50u16 {
+            m.observe(t(i as u64 * 10), MacAddr::local(1), 100 + i, 1);
+            m.observe(t(i as u64 * 10 + 5), MacAddr::local(2), 3000 + i, 1);
+        }
+        assert!(m.alarms.is_empty());
+    }
+}

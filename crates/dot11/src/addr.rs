@@ -1,0 +1,129 @@
+//! IEEE 802 MAC addresses.
+
+use std::fmt;
+use std::str::FromStr;
+
+/// A 48-bit MAC address.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct MacAddr(pub [u8; 6]);
+
+impl MacAddr {
+    /// The broadcast address ff:ff:ff:ff:ff:ff.
+    pub const BROADCAST: MacAddr = MacAddr([0xFF; 6]);
+
+    /// The all-zero address (never valid on the air; useful as a sentinel).
+    pub const ZERO: MacAddr = MacAddr([0; 6]);
+
+    /// Deterministically generate a locally administered unicast address
+    /// from an integer — used to hand out distinct addresses to simulated
+    /// stations.
+    pub const fn local(n: u64) -> MacAddr {
+        MacAddr([
+            0x02, // locally administered, unicast
+            ((n >> 32) & 0xFF) as u8,
+            ((n >> 24) & 0xFF) as u8,
+            ((n >> 16) & 0xFF) as u8,
+            ((n >> 8) & 0xFF) as u8,
+            (n & 0xFF) as u8,
+        ])
+    }
+
+    /// True for group (multicast/broadcast) addresses.
+    pub fn is_multicast(self) -> bool {
+        self.0[0] & 1 == 1
+    }
+
+    /// True for the broadcast address.
+    pub fn is_broadcast(self) -> bool {
+        self == Self::BROADCAST
+    }
+
+    /// Raw bytes.
+    pub fn bytes(self) -> [u8; 6] {
+        self.0
+    }
+}
+
+impl fmt::Display for MacAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{:02x}:{:02x}:{:02x}:{:02x}:{:02x}:{:02x}",
+            self.0[0], self.0[1], self.0[2], self.0[3], self.0[4], self.0[5]
+        )
+    }
+}
+
+impl fmt::Debug for MacAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{self}")
+    }
+}
+
+/// Error parsing a MAC address from text.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ParseMacError;
+
+impl fmt::Display for ParseMacError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid MAC address syntax")
+    }
+}
+
+impl std::error::Error for ParseMacError {}
+
+impl FromStr for MacAddr {
+    type Err = ParseMacError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let mut out = [0u8; 6];
+        let mut parts = s.split(':');
+        for slot in &mut out {
+            let p = parts.next().ok_or(ParseMacError)?;
+            if p.len() != 2 {
+                return Err(ParseMacError);
+            }
+            *slot = u8::from_str_radix(p, 16).map_err(|_| ParseMacError)?;
+        }
+        if parts.next().is_some() {
+            return Err(ParseMacError);
+        }
+        Ok(MacAddr(out))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_round_trip() {
+        let m = MacAddr([0xAA, 0xBB, 0xCC, 0x00, 0x11, 0x22]);
+        assert_eq!(m.to_string(), "aa:bb:cc:00:11:22");
+        assert_eq!("aa:bb:cc:00:11:22".parse::<MacAddr>().unwrap(), m);
+    }
+
+    #[test]
+    fn parse_errors() {
+        assert!("aa:bb:cc".parse::<MacAddr>().is_err());
+        assert!("aa:bb:cc:dd:ee:ff:00".parse::<MacAddr>().is_err());
+        assert!("aa:bb:cc:dd:ee:gg".parse::<MacAddr>().is_err());
+        assert!("aabb:cc:dd:ee:ff".parse::<MacAddr>().is_err());
+    }
+
+    #[test]
+    fn local_addresses_are_distinct_unicast() {
+        let a = MacAddr::local(1);
+        let b = MacAddr::local(2);
+        assert_ne!(a, b);
+        assert!(!a.is_multicast());
+        assert!(!a.is_broadcast());
+    }
+
+    #[test]
+    fn broadcast_properties() {
+        assert!(MacAddr::BROADCAST.is_broadcast());
+        assert!(MacAddr::BROADCAST.is_multicast());
+        assert!(!MacAddr::ZERO.is_broadcast());
+    }
+}

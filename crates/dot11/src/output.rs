@@ -1,0 +1,77 @@
+//! Outputs from MAC entities toward the embedding world.
+
+use bytes::Bytes;
+use rogue_phy::Bitrate;
+
+use crate::addr::MacAddr;
+
+/// Things a MAC asks the world to do, or tells it about.
+#[derive(Clone, Debug)]
+pub enum MacOutput {
+    /// Transmit these bytes on the entity's radio at the given rate.
+    Tx {
+        /// Encoded frame (with FCS).
+        bytes: Bytes,
+        /// PHY rate.
+        bitrate: Bitrate,
+    },
+    /// Retune the radio to `channel` (stations do this while scanning or
+    /// joining; auditors while sweeping).
+    SetChannel(u8),
+    /// Deliver a received data payload to the network stack above.
+    DeliverData {
+        /// Logical source MAC.
+        src: MacAddr,
+        /// Logical destination MAC.
+        dst: MacAddr,
+        /// Ethertype from the LLC/SNAP header.
+        ethertype: u16,
+        /// Network-layer payload.
+        payload: Bytes,
+    },
+    /// Protocol milestone, consumed by metrics and scenario logic.
+    Event(MacEvent),
+}
+
+/// MAC protocol milestones.
+#[derive(Clone, Debug, PartialEq)]
+pub enum MacEvent {
+    /// A station completed association.
+    Associated {
+        /// The BSSID it joined.
+        bssid: MacAddr,
+        /// Channel it is now on.
+        channel: u8,
+        /// RSSI of the AP at selection time, dBm.
+        rssi_dbm: f64,
+    },
+    /// A station lost / left its association.
+    Disassociated {
+        /// The BSSID it was on.
+        bssid: MacAddr,
+        /// Whether a received deauth/disassoc caused it.
+        forced: bool,
+    },
+    /// An AP accepted a new client.
+    ClientAssociated {
+        /// Client MAC.
+        client: MacAddr,
+    },
+    /// An AP rejected a client (ACL, wrong capability…).
+    ClientRejected {
+        /// Client MAC.
+        client: MacAddr,
+        /// 802.11 status code used in the refusal.
+        status: u16,
+    },
+    /// A frame transmission exhausted its retries.
+    TxFailed {
+        /// Destination that never ACKed.
+        dst: MacAddr,
+    },
+    /// A protected frame failed WEP decryption (wrong key / tampering).
+    WepDecryptFailed {
+        /// Transmitter address of the offending frame.
+        from: MacAddr,
+    },
+}

@@ -1,0 +1,324 @@
+//! Shared transmit queue with DCF-flavoured timing: DIFS + random backoff
+//! before each attempt, stop-and-wait ACK for unicast frames, exponential
+//! contention-window growth on retry, and sequence-number assignment.
+//!
+//! This is a deliberate simplification of full CSMA/CA (no mid-slot
+//! carrier-sense deferral — see DESIGN.md §5): with the light traffic of
+//! the reproduced scenarios, randomised start times plus capture-effect
+//! collision resolution in `rogue-phy` give the behaviour that matters
+//! (occasional collisions, retries, and eventual delivery).
+
+use std::collections::VecDeque;
+
+use rogue_phy::Bitrate;
+use rogue_sim::{SimDuration, SimRng, SimTime};
+
+use crate::addr::MacAddr;
+use crate::frame::{Frame, FrameBody};
+use crate::output::{MacEvent, MacOutput};
+
+/// Slot time (802.11b long-preamble DCF).
+pub const SLOT: SimDuration = SimDuration::from_micros(20);
+/// Short interframe space.
+pub const SIFS: SimDuration = SimDuration::from_micros(10);
+/// DCF interframe space.
+pub const DIFS: SimDuration = SimDuration::from_micros(50);
+/// Minimum contention window (slots − 1).
+pub const CW_MIN: u32 = 31;
+/// Maximum contention window.
+pub const CW_MAX: u32 = 1023;
+/// Retry limit before a frame is dropped.
+pub const RETRY_LIMIT: u8 = 4;
+
+/// ACK frame airtime at 1 Mbps (14 bytes + PLCP).
+fn ack_airtime() -> SimDuration {
+    Bitrate::B1.airtime(14)
+}
+
+struct Pending {
+    frame: Frame,
+    bitrate: Bitrate,
+    needs_ack: bool,
+}
+
+struct Inflight {
+    frame: Frame,
+    bitrate: Bitrate,
+    ack_deadline: SimTime,
+    retries: u8,
+    cw: u32,
+}
+
+/// Transmit queue for one MAC entity.
+pub struct TxQueue {
+    queue: VecDeque<Pending>,
+    inflight: Option<Inflight>,
+    /// Earliest instant the next queued frame may start.
+    next_attempt: SimTime,
+    /// Radio considered busy with our own transmissions until here.
+    busy_until: SimTime,
+    rng: SimRng,
+    seq: u16,
+    /// Frames dropped after exhausting retries.
+    pub drops: u64,
+}
+
+impl TxQueue {
+    /// New queue driven by the given RNG stream.
+    pub fn new(rng: SimRng) -> TxQueue {
+        TxQueue {
+            queue: VecDeque::new(),
+            inflight: None,
+            next_attempt: SimTime::ZERO,
+            busy_until: SimTime::ZERO,
+            rng,
+            seq: 0,
+            drops: 0,
+        }
+    }
+
+    /// Enqueue a frame. Sequence number is assigned here; `needs_ack`
+    /// should be true for unicast management/data frames.
+    pub fn push(&mut self, now: SimTime, mut frame: Frame, bitrate: Bitrate, needs_ack: bool) {
+        frame.seq = self.seq;
+        self.seq = (self.seq + 1) & 0x0FFF;
+        self.queue.push_back(Pending {
+            frame,
+            bitrate,
+            needs_ack,
+        });
+        if self.queue.len() == 1 && self.inflight.is_none() {
+            self.arm_backoff(now, CW_MIN);
+        }
+    }
+
+    /// Send an ACK immediately (SIFS, no backoff, no queue) — ACKs jump
+    /// the queue by design.
+    pub fn emit_ack(&self, _now: SimTime, ra: MacAddr, out: &mut Vec<MacOutput>) {
+        out.push(MacOutput::Tx {
+            bytes: Frame::ack(ra).encode(),
+            bitrate: Bitrate::B1,
+        });
+    }
+
+    /// Note a received ACK addressed to us.
+    pub fn on_ack(&mut self, now: SimTime) {
+        if self.inflight.take().is_some() {
+            self.arm_backoff(now, CW_MIN);
+        }
+    }
+
+    /// Drop all queued and in-flight frames (used when a station leaves a
+    /// BSS: stale traffic must not chase the old AP).
+    pub fn flush(&mut self) {
+        self.queue.clear();
+        self.inflight = None;
+    }
+
+    /// Earliest instant this queue needs a poll.
+    pub fn next_wake(&self) -> SimTime {
+        if let Some(inf) = &self.inflight {
+            return inf.ack_deadline;
+        }
+        if !self.queue.is_empty() {
+            return self.next_attempt.max(self.busy_until);
+        }
+        SimTime::FOREVER
+    }
+
+    /// Drive the queue; emits transmissions and failure events.
+    pub fn poll(&mut self, now: SimTime, out: &mut Vec<MacOutput>) {
+        // Retry / give up on the in-flight frame.
+        if let Some(inf) = &mut self.inflight {
+            if now >= inf.ack_deadline {
+                if inf.retries >= RETRY_LIMIT {
+                    let dst = inf.frame.addr1;
+                    self.inflight = None;
+                    self.drops += 1;
+                    out.push(MacOutput::Event(MacEvent::TxFailed { dst }));
+                    self.arm_backoff(now, CW_MIN);
+                } else {
+                    inf.retries += 1;
+                    inf.cw = (inf.cw * 2 + 1).min(CW_MAX);
+                    inf.frame.retry = true;
+                    let backoff = DIFS + SLOT.saturating_mul(self.rng.below(inf.cw as u64 + 1));
+                    let start = now + backoff;
+                    let end = start + inf.bitrate.airtime(frame_len(&inf.frame));
+                    inf.ack_deadline = end + SIFS + ack_airtime() + SimDuration::from_micros(60);
+                    out.push(MacOutput::Tx {
+                        bytes: inf.frame.encode(),
+                        bitrate: inf.bitrate,
+                    });
+                    self.busy_until = end;
+                }
+            }
+            // While a frame is in flight we send nothing else.
+            if self.inflight.is_some() {
+                return;
+            }
+        }
+
+        // Start the next queued frame (one per poll; the world re-polls
+        // at next_wake for the rest).
+        if now >= self.next_attempt.max(self.busy_until) {
+            if let Some(p) = self.queue.pop_front() {
+                let airtime = p.bitrate.airtime(frame_len(&p.frame));
+                let end = now + airtime;
+                out.push(MacOutput::Tx {
+                    bytes: p.frame.encode(),
+                    bitrate: p.bitrate,
+                });
+                self.busy_until = end;
+                if p.needs_ack {
+                    self.inflight = Some(Inflight {
+                        frame: p.frame,
+                        bitrate: p.bitrate,
+                        ack_deadline: end + SIFS + ack_airtime() + SimDuration::from_micros(60),
+                        retries: 0,
+                        cw: CW_MIN,
+                    });
+                } else {
+                    self.arm_backoff(end, CW_MIN);
+                }
+            }
+        }
+    }
+
+    fn arm_backoff(&mut self, now: SimTime, cw: u32) {
+        let slots = self.rng.below(cw as u64 + 1);
+        self.next_attempt = now + DIFS + SLOT.saturating_mul(slots);
+    }
+}
+
+/// Encoded length of a frame (header + body + FCS) — used for airtime
+/// estimates without double-encoding.
+fn frame_len(frame: &Frame) -> usize {
+    // Encoding is cheap relative to simulation bookkeeping; reuse it.
+    match frame.body {
+        FrameBody::Ack => 14,
+        _ => frame.encode().len(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::frame::FrameBody;
+    use rogue_sim::Seed;
+
+    fn frame(dst: MacAddr) -> Frame {
+        Frame::new(dst, MacAddr::local(1), MacAddr::local(9), FrameBody::Deauth { reason: 1 })
+    }
+
+    fn drain(q: &mut TxQueue, now: SimTime) -> Vec<MacOutput> {
+        let mut out = Vec::new();
+        q.poll(now, &mut out);
+        out
+    }
+
+    #[test]
+    fn assigns_monotonic_seq() {
+        let mut q = TxQueue::new(SimRng::new(Seed(1)));
+        let now = SimTime::ZERO;
+        q.push(now, frame(MacAddr::local(2)), Bitrate::B1, false);
+        q.push(now, frame(MacAddr::local(2)), Bitrate::B1, false);
+        let wake = q.next_wake();
+        assert!(wake > now);
+        let out = drain(&mut q, wake);
+        let tx = out
+            .iter()
+            .filter_map(|o| match o {
+                MacOutput::Tx { bytes, .. } => Some(Frame::decode(bytes).unwrap()),
+                _ => None,
+            })
+            .collect::<Vec<_>>();
+        assert_eq!(tx.len(), 1);
+        assert_eq!(tx[0].seq, 0);
+        // Second frame comes on a later poll.
+        let wake2 = q.next_wake();
+        assert!(wake2 > wake);
+        let out2 = drain(&mut q, wake2);
+        let f2 = out2
+            .iter()
+            .find_map(|o| match o {
+                MacOutput::Tx { bytes, .. } => Some(Frame::decode(bytes).unwrap()),
+                _ => None,
+            })
+            .unwrap();
+        assert_eq!(f2.seq, 1);
+    }
+
+    #[test]
+    fn acked_frame_clears_inflight() {
+        let mut q = TxQueue::new(SimRng::new(Seed(2)));
+        q.push(SimTime::ZERO, frame(MacAddr::local(2)), Bitrate::B1, true);
+        let wake = q.next_wake();
+        let out = drain(&mut q, wake);
+        assert!(matches!(out[0], MacOutput::Tx { .. }));
+        // ACK arrives before the deadline.
+        q.on_ack(wake + SimDuration::from_micros(500));
+        // No retry should be pending.
+        let mut out2 = Vec::new();
+        q.poll(q.next_wake().min(SimTime::from_secs(10)), &mut out2);
+        assert!(out2.is_empty());
+    }
+
+    #[test]
+    fn unacked_frame_retries_then_drops() {
+        let mut q = TxQueue::new(SimRng::new(Seed(3)));
+        q.push(SimTime::ZERO, frame(MacAddr::local(2)), Bitrate::B1, true);
+        let mut txs = 0;
+        let mut failed = false;
+        let mut now = q.next_wake();
+        for _ in 0..64 {
+            if now == SimTime::FOREVER {
+                break;
+            }
+            let out = drain(&mut q, now);
+            for o in &out {
+                match o {
+                    MacOutput::Tx { bytes, .. } => {
+                        let f = Frame::decode(bytes).unwrap();
+                        if txs > 0 {
+                            assert!(f.retry, "retransmissions set the retry flag");
+                            assert_eq!(f.seq, 0, "retries keep the sequence number");
+                        }
+                        txs += 1;
+                    }
+                    MacOutput::Event(MacEvent::TxFailed { .. }) => failed = true,
+                    _ => {}
+                }
+            }
+            now = q.next_wake();
+        }
+        assert_eq!(txs, 1 + RETRY_LIMIT as usize, "initial + retries");
+        assert!(failed, "TxFailed after retry limit");
+        assert_eq!(q.drops, 1);
+    }
+
+    #[test]
+    fn flush_discards_pending() {
+        let mut q = TxQueue::new(SimRng::new(Seed(4)));
+        q.push(SimTime::ZERO, frame(MacAddr::local(2)), Bitrate::B1, true);
+        q.push(SimTime::ZERO, frame(MacAddr::local(3)), Bitrate::B1, true);
+        q.flush();
+        assert_eq!(q.next_wake(), SimTime::FOREVER);
+    }
+
+    #[test]
+    fn backoff_randomises_start() {
+        let w1 = {
+            let mut q = TxQueue::new(SimRng::new(Seed(5)));
+            q.push(SimTime::ZERO, frame(MacAddr::local(2)), Bitrate::B1, false);
+            q.next_wake()
+        };
+        let w2 = {
+            let mut q = TxQueue::new(SimRng::new(Seed(99)));
+            q.push(SimTime::ZERO, frame(MacAddr::local(2)), Bitrate::B1, false);
+            q.next_wake()
+        };
+        assert!(w1 >= SimTime::ZERO + DIFS);
+        assert!(w2 >= SimTime::ZERO + DIFS);
+        assert_ne!(w1, w2, "different seeds, different backoff");
+    }
+}

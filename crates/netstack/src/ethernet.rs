@@ -1,0 +1,90 @@
+//! Ethernet II framing.
+//!
+//! Both the wired LAN segments and the 802.11 data path converge on this
+//! representation: the dot11 layer hands up `(src, dst, ethertype,
+//! payload)` tuples which nodes re-frame as Ethernet for the host stack,
+//! exactly as a real AP bridges 802.11 to 802.3.
+
+use bytes::{BufMut, Bytes, BytesMut};
+use rogue_dot11::MacAddr;
+
+/// Minimum ethernet frame we accept (header only; no padding enforcement).
+pub const HEADER_LEN: usize = 14;
+
+/// A parsed Ethernet II frame.
+#[derive(Clone, Debug, PartialEq)]
+pub struct EthFrame {
+    /// Destination MAC.
+    pub dst: MacAddr,
+    /// Source MAC.
+    pub src: MacAddr,
+    /// Ethertype (0x0800 IPv4, 0x0806 ARP).
+    pub ethertype: u16,
+    /// Payload bytes.
+    pub payload: Bytes,
+}
+
+impl EthFrame {
+    /// Build a frame.
+    pub fn new(dst: MacAddr, src: MacAddr, ethertype: u16, payload: impl Into<Bytes>) -> EthFrame {
+        EthFrame {
+            dst,
+            src,
+            ethertype,
+            payload: payload.into(),
+        }
+    }
+
+    /// Serialize to wire bytes.
+    pub fn encode(&self) -> Bytes {
+        let mut buf = BytesMut::with_capacity(HEADER_LEN + self.payload.len());
+        buf.put_slice(&self.dst.0);
+        buf.put_slice(&self.src.0);
+        buf.put_u16(self.ethertype);
+        buf.put_slice(&self.payload);
+        buf.freeze()
+    }
+
+    /// Parse wire bytes.
+    pub fn decode(bytes: &[u8]) -> Option<EthFrame> {
+        if bytes.len() < HEADER_LEN {
+            return None;
+        }
+        Some(EthFrame {
+            dst: MacAddr(bytes[0..6].try_into().unwrap()),
+            src: MacAddr(bytes[6..12].try_into().unwrap()),
+            ethertype: u16::from_be_bytes([bytes[12], bytes[13]]),
+            payload: Bytes::copy_from_slice(&bytes[HEADER_LEN..]),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip() {
+        let f = EthFrame::new(
+            MacAddr::local(1),
+            MacAddr::local(2),
+            0x0800,
+            Bytes::from_static(b"ip payload"),
+        );
+        let g = EthFrame::decode(&f.encode()).unwrap();
+        assert_eq!(f, g);
+    }
+
+    #[test]
+    fn short_frame_rejected() {
+        assert!(EthFrame::decode(&[0u8; 13]).is_none());
+        assert!(EthFrame::decode(&[0u8; 14]).is_some());
+    }
+
+    #[test]
+    fn ethertype_is_big_endian() {
+        let f = EthFrame::new(MacAddr::local(1), MacAddr::local(2), 0x0806, Bytes::new());
+        let bytes = f.encode();
+        assert_eq!(&bytes[12..14], &[0x08, 0x06]);
+    }
+}

@@ -1,0 +1,162 @@
+//! ICMP: echo (ping) and the error messages a router needs.
+
+use bytes::{BufMut, Bytes, BytesMut};
+
+use crate::ip::checksum;
+
+/// Parsed ICMP message (the subset the stack uses).
+#[derive(Clone, Debug, PartialEq)]
+pub enum IcmpMessage {
+    /// Echo request.
+    EchoRequest {
+        /// Identifier (per ping session).
+        ident: u16,
+        /// Sequence number.
+        seq: u16,
+        /// Payload echoed back.
+        payload: Bytes,
+    },
+    /// Echo reply.
+    EchoReply {
+        /// Identifier.
+        ident: u16,
+        /// Sequence number.
+        seq: u16,
+        /// Echoed payload.
+        payload: Bytes,
+    },
+    /// Destination unreachable; carries the offending IP header + 8 bytes.
+    DestUnreachable {
+        /// Code (0 net, 1 host, 3 port).
+        code: u8,
+        /// Quoted original datagram prefix.
+        original: Bytes,
+    },
+    /// TTL exceeded in transit.
+    TimeExceeded {
+        /// Quoted original datagram prefix.
+        original: Bytes,
+    },
+}
+
+impl IcmpMessage {
+    /// Serialize with checksum.
+    pub fn encode(&self) -> Bytes {
+        let mut buf = BytesMut::with_capacity(32);
+        match self {
+            IcmpMessage::EchoRequest {
+                ident,
+                seq,
+                payload,
+            } => {
+                buf.put_u8(8);
+                buf.put_u8(0);
+                buf.put_u16(0);
+                buf.put_u16(*ident);
+                buf.put_u16(*seq);
+                buf.put_slice(payload);
+            }
+            IcmpMessage::EchoReply {
+                ident,
+                seq,
+                payload,
+            } => {
+                buf.put_u8(0);
+                buf.put_u8(0);
+                buf.put_u16(0);
+                buf.put_u16(*ident);
+                buf.put_u16(*seq);
+                buf.put_slice(payload);
+            }
+            IcmpMessage::DestUnreachable { code, original } => {
+                buf.put_u8(3);
+                buf.put_u8(*code);
+                buf.put_u16(0);
+                buf.put_u32(0);
+                buf.put_slice(original);
+            }
+            IcmpMessage::TimeExceeded { original } => {
+                buf.put_u8(11);
+                buf.put_u8(0);
+                buf.put_u16(0);
+                buf.put_u32(0);
+                buf.put_slice(original);
+            }
+        }
+        let csum = checksum(&buf);
+        buf[2..4].copy_from_slice(&csum.to_be_bytes());
+        buf.freeze()
+    }
+
+    /// Parse and validate the checksum.
+    pub fn decode(bytes: &[u8]) -> Option<IcmpMessage> {
+        if bytes.len() < 8 || checksum(bytes) != 0 {
+            return None;
+        }
+        let payload = Bytes::copy_from_slice(&bytes[8..]);
+        match (bytes[0], bytes[1]) {
+            (8, 0) => Some(IcmpMessage::EchoRequest {
+                ident: u16::from_be_bytes([bytes[4], bytes[5]]),
+                seq: u16::from_be_bytes([bytes[6], bytes[7]]),
+                payload,
+            }),
+            (0, 0) => Some(IcmpMessage::EchoReply {
+                ident: u16::from_be_bytes([bytes[4], bytes[5]]),
+                seq: u16::from_be_bytes([bytes[6], bytes[7]]),
+                payload,
+            }),
+            (3, code) => Some(IcmpMessage::DestUnreachable {
+                code,
+                original: payload,
+            }),
+            (11, 0) => Some(IcmpMessage::TimeExceeded { original: payload }),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn echo_roundtrip() {
+        let m = IcmpMessage::EchoRequest {
+            ident: 0x1234,
+            seq: 7,
+            payload: Bytes::from_static(b"abcdefgh"),
+        };
+        assert_eq!(IcmpMessage::decode(&m.encode()).unwrap(), m);
+        let r = IcmpMessage::EchoReply {
+            ident: 0x1234,
+            seq: 7,
+            payload: Bytes::from_static(b"abcdefgh"),
+        };
+        assert_eq!(IcmpMessage::decode(&r.encode()).unwrap(), r);
+    }
+
+    #[test]
+    fn errors_roundtrip() {
+        let m = IcmpMessage::DestUnreachable {
+            code: 3,
+            original: Bytes::from_static(b"original header bytes heremore"),
+        };
+        assert_eq!(IcmpMessage::decode(&m.encode()).unwrap(), m);
+        let m = IcmpMessage::TimeExceeded {
+            original: Bytes::from_static(b"original"),
+        };
+        assert_eq!(IcmpMessage::decode(&m.encode()).unwrap(), m);
+    }
+
+    #[test]
+    fn corrupt_checksum_rejected() {
+        let m = IcmpMessage::EchoRequest {
+            ident: 1,
+            seq: 1,
+            payload: Bytes::from_static(b"x!"),
+        };
+        let mut bytes = m.encode().to_vec();
+        bytes[9] ^= 0x40;
+        assert!(IcmpMessage::decode(&bytes).is_none());
+    }
+}

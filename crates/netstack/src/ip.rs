@@ -1,0 +1,250 @@
+//! IPv4 header codec with real Internet checksums.
+//!
+//! No options, no fragmentation (DF always set): none of the reproduced
+//! traffic fragments, and period attack tooling (netsed included) also
+//! assumed whole segments.
+
+use bytes::{BufMut, Bytes, BytesMut};
+
+use crate::Ipv4Addr;
+
+/// Fixed header length (no options).
+pub const HEADER_LEN: usize = 20;
+
+/// A parsed IPv4 packet.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Ipv4Packet {
+    /// Sender address.
+    pub src: Ipv4Addr,
+    /// Destination address.
+    pub dst: Ipv4Addr,
+    /// Protocol number (see [`crate::proto`]).
+    pub protocol: u8,
+    /// Remaining hop count.
+    pub ttl: u8,
+    /// Identification field (diagnostics only; we never fragment).
+    pub ident: u16,
+    /// Transport payload.
+    pub payload: Bytes,
+}
+
+impl Ipv4Packet {
+    /// Build a packet with a default TTL of 64.
+    pub fn new(src: Ipv4Addr, dst: Ipv4Addr, protocol: u8, payload: impl Into<Bytes>) -> Self {
+        Ipv4Packet {
+            src,
+            dst,
+            protocol,
+            ttl: 64,
+            ident: 0,
+            payload: payload.into(),
+        }
+    }
+
+    /// Serialize with a valid header checksum.
+    pub fn encode(&self) -> Bytes {
+        let total_len = HEADER_LEN + self.payload.len();
+        assert!(total_len <= 65_535, "IPv4 packet too large");
+        let mut buf = BytesMut::with_capacity(total_len);
+        buf.put_u8(0x45); // version 4, IHL 5
+        buf.put_u8(0); // DSCP/ECN
+        buf.put_u16(total_len as u16);
+        buf.put_u16(self.ident);
+        buf.put_u16(0x4000); // flags: DF
+        buf.put_u8(self.ttl);
+        buf.put_u8(self.protocol);
+        buf.put_u16(0); // checksum placeholder
+        buf.put_slice(&self.src.octets());
+        buf.put_slice(&self.dst.octets());
+        let csum = checksum(&buf[..HEADER_LEN]);
+        buf[10..12].copy_from_slice(&csum.to_be_bytes());
+        buf.put_slice(&self.payload);
+        buf.freeze()
+    }
+
+    /// Parse and validate (version, lengths, checksum).
+    pub fn decode(bytes: &[u8]) -> Option<Ipv4Packet> {
+        if bytes.len() < HEADER_LEN {
+            return None;
+        }
+        if bytes[0] != 0x45 {
+            return None; // options unsupported
+        }
+        let total_len = u16::from_be_bytes([bytes[2], bytes[3]]) as usize;
+        if total_len < HEADER_LEN || total_len > bytes.len() {
+            return None;
+        }
+        if checksum(&bytes[..HEADER_LEN]) != 0 {
+            return None;
+        }
+        Some(Ipv4Packet {
+            src: Ipv4Addr::new(bytes[12], bytes[13], bytes[14], bytes[15]),
+            dst: Ipv4Addr::new(bytes[16], bytes[17], bytes[18], bytes[19]),
+            protocol: bytes[9],
+            ttl: bytes[8],
+            ident: u16::from_be_bytes([bytes[4], bytes[5]]),
+            payload: Bytes::copy_from_slice(&bytes[HEADER_LEN..total_len]),
+        })
+    }
+}
+
+/// RFC 1071 Internet checksum over `data`. Returns the value to *store*
+/// (one's-complement of the sum); summing a buffer containing a correct
+/// checksum yields 0.
+pub fn checksum(data: &[u8]) -> u16 {
+    !fold(sum_words(data, 0))
+}
+
+/// Checksum with a pseudo-header prefix sum (TCP/UDP).
+pub fn checksum_with_pseudo(
+    src: Ipv4Addr,
+    dst: Ipv4Addr,
+    protocol: u8,
+    payload: &[u8],
+) -> u16 {
+    let mut acc: u32 = 0;
+    acc = sum_words(&src.octets(), acc);
+    acc = sum_words(&dst.octets(), acc);
+    acc += protocol as u32;
+    acc += payload.len() as u32;
+    acc = sum_words(payload, acc);
+    let folded = fold(acc);
+    let out = !folded;
+    // Per RFC 768, a computed 0 is transmitted as all-ones.
+    if out == 0 {
+        0xFFFF
+    } else {
+        out
+    }
+}
+
+fn sum_words(data: &[u8], mut acc: u32) -> u32 {
+    let mut chunks = data.chunks_exact(2);
+    for c in &mut chunks {
+        acc += u16::from_be_bytes([c[0], c[1]]) as u32;
+    }
+    if let [last] = chunks.remainder() {
+        acc += (*last as u32) << 8;
+    }
+    acc
+}
+
+fn fold(mut acc: u32) -> u16 {
+    while acc >> 16 != 0 {
+        acc = (acc & 0xFFFF) + (acc >> 16);
+    }
+    acc as u16
+}
+
+/// Does `addr` fall inside `network/prefix_len`?
+pub fn in_subnet(addr: Ipv4Addr, network: Ipv4Addr, prefix_len: u8) -> bool {
+    let mask = prefix_mask(prefix_len);
+    u32::from(addr) & mask == u32::from(network) & mask
+}
+
+/// Netmask as a u32 for a prefix length.
+pub fn prefix_mask(prefix_len: u8) -> u32 {
+    assert!(prefix_len <= 32);
+    if prefix_len == 0 {
+        0
+    } else {
+        u32::MAX << (32 - prefix_len)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip() {
+        let p = Ipv4Packet::new(
+            Ipv4Addr::new(192, 168, 0, 2),
+            Ipv4Addr::new(10, 0, 0, 1),
+            6,
+            Bytes::from_static(b"segment"),
+        );
+        let g = Ipv4Packet::decode(&p.encode()).unwrap();
+        assert_eq!(p, g);
+    }
+
+    #[test]
+    fn rfc1071_example() {
+        // Classic example: checksum of 00 01 f2 03 f4 f5 f6 f7 = 0x220d.
+        let data = [0x00, 0x01, 0xf2, 0x03, 0xf4, 0xf5, 0xf6, 0xf7];
+        assert_eq!(checksum(&data), 0x220d);
+    }
+
+    #[test]
+    fn corrupted_header_rejected() {
+        let p = Ipv4Packet::new(
+            Ipv4Addr::new(1, 2, 3, 4),
+            Ipv4Addr::new(5, 6, 7, 8),
+            17,
+            Bytes::new(),
+        );
+        let mut bytes = p.encode().to_vec();
+        bytes[8] ^= 0xFF; // mangle TTL without fixing checksum
+        assert!(Ipv4Packet::decode(&bytes).is_none());
+    }
+
+    #[test]
+    fn truncated_rejected() {
+        let p = Ipv4Packet::new(
+            Ipv4Addr::new(1, 2, 3, 4),
+            Ipv4Addr::new(5, 6, 7, 8),
+            17,
+            Bytes::from_static(b"0123456789"),
+        );
+        let bytes = p.encode();
+        assert!(Ipv4Packet::decode(&bytes[..bytes.len() - 5]).is_none());
+    }
+
+    #[test]
+    fn extra_trailing_bytes_tolerated() {
+        // Ethernet pads short frames; total_len governs.
+        let p = Ipv4Packet::new(
+            Ipv4Addr::new(1, 2, 3, 4),
+            Ipv4Addr::new(5, 6, 7, 8),
+            17,
+            Bytes::from_static(b"x"),
+        );
+        let mut bytes = p.encode().to_vec();
+        bytes.extend_from_slice(&[0u8; 12]);
+        let g = Ipv4Packet::decode(&bytes).unwrap();
+        assert_eq!(&g.payload[..], b"x");
+    }
+
+    #[test]
+    fn odd_length_checksum() {
+        let data = [0xAB];
+        // One byte is padded with a zero low byte.
+        assert_eq!(checksum(&data), !0xAB00);
+    }
+
+    #[test]
+    fn subnet_membership() {
+        let net = Ipv4Addr::new(192, 168, 0, 0);
+        assert!(in_subnet(Ipv4Addr::new(192, 168, 0, 42), net, 24));
+        assert!(!in_subnet(Ipv4Addr::new(192, 168, 1, 42), net, 24));
+        assert!(in_subnet(Ipv4Addr::new(192, 168, 1, 42), net, 16));
+        assert!(in_subnet(Ipv4Addr::new(8, 8, 8, 8), net, 0), "default route");
+    }
+
+    #[test]
+    fn pseudo_header_checksum_changes_with_addresses() {
+        let a = checksum_with_pseudo(
+            Ipv4Addr::new(1, 1, 1, 1),
+            Ipv4Addr::new(2, 2, 2, 2),
+            6,
+            b"data",
+        );
+        let b = checksum_with_pseudo(
+            Ipv4Addr::new(1, 1, 1, 2),
+            Ipv4Addr::new(2, 2, 2, 2),
+            6,
+            b"data",
+        );
+        assert_ne!(a, b, "NAT must recompute transport checksums");
+    }
+}

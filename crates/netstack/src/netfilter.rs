@@ -1,0 +1,393 @@
+//! A netfilter-style NAT engine: PREROUTING DNAT/REDIRECT, POSTROUTING
+//! SNAT/MASQUERADE, and a connection-tracking table so reply traffic is
+//! rewritten back transparently.
+//!
+//! The paper's attack uses exactly one rule:
+//!
+//! ```text
+//! iptables -t nat -A PREROUTING -p tcp -d TargetIP --dport 80 \
+//!          -j DNAT --to GatewayIP:10101
+//! ```
+//!
+//! [`Netfilter::add_dnat`] is that rule. Conntrack then makes the
+//! gateway's local netsed socket answer *as if it were the target web
+//! server*: replies from `GatewayIP:10101` are source-rewritten back to
+//! `TargetIP:80` on the way out, so the victim never sees the gateway in
+//! its TCP endpoints.
+//!
+//! Scope: TCP and UDP only (ICMP is passed through untranslated — the
+//! reproduced experiments never NAT ping traffic).
+
+use std::collections::HashMap;
+
+use crate::ip::Ipv4Packet;
+use crate::routing::IfIndex;
+use crate::tcp::TcpSegment;
+use crate::udp::UdpDatagram;
+use crate::{proto, Ipv4Addr};
+
+/// Flow tuple: (proto, src ip, src port, dst ip, dst port).
+pub type Tuple = (u8, Ipv4Addr, u16, Ipv4Addr, u16);
+
+/// A destination-NAT rule (PREROUTING).
+#[derive(Clone, Debug)]
+pub struct DnatRule {
+    /// Match protocol (None = any of TCP/UDP).
+    pub proto: Option<u8>,
+    /// Match destination address.
+    pub dst: Option<Ipv4Addr>,
+    /// Match destination port.
+    pub dport: Option<u16>,
+    /// Rewrite destination to this (ip, port).
+    pub to: (Ipv4Addr, u16),
+}
+
+/// A source-NAT rule (POSTROUTING).
+#[derive(Clone, Debug)]
+pub struct SnatRule {
+    /// Match egress interface.
+    pub out_ifindex: IfIndex,
+    /// Match source subnet (the `-s 10.8.0.0/24` of a classic VPN
+    /// masquerade — without it the rule would also rewrite the host's
+    /// own locally-originated traffic).
+    pub src_net: Option<(Ipv4Addr, u8)>,
+    /// Rewrite source to this address (MASQUERADE uses the egress
+    /// interface address, filled by the host at apply time).
+    pub to_ip: Option<Ipv4Addr>,
+}
+
+#[derive(Clone, Copy, Debug)]
+enum Rewrite {
+    Dst(Ipv4Addr, u16),
+    Src(Ipv4Addr, u16),
+}
+
+/// The NAT engine state for one host.
+#[derive(Default)]
+pub struct Netfilter {
+    dnat_rules: Vec<DnatRule>,
+    snat_rules: Vec<SnatRule>,
+    /// Applied at PREROUTING (forward DNAT + reply un-SNAT).
+    pre_map: HashMap<Tuple, Rewrite>,
+    /// Applied at POSTROUTING (forward SNAT + reply un-DNAT).
+    post_map: HashMap<Tuple, Rewrite>,
+    next_masq_port: u16,
+    /// Packets whose destination was rewritten.
+    pub dnat_hits: u64,
+    /// Packets whose source was rewritten.
+    pub snat_hits: u64,
+}
+
+/// Transport endpoints of a packet, if it is TCP or UDP with a valid
+/// checksum. (NAT refuses to touch anything it cannot re-checksum.)
+fn endpoints(pkt: &Ipv4Packet) -> Option<(u16, u16)> {
+    match pkt.protocol {
+        proto::TCP => {
+            TcpSegment::decode(pkt.src, pkt.dst, &pkt.payload).map(|s| (s.src_port, s.dst_port))
+        }
+        proto::UDP => {
+            UdpDatagram::decode(pkt.src, pkt.dst, &pkt.payload).map(|d| (d.src_port, d.dst_port))
+        }
+        _ => None,
+    }
+}
+
+/// Re-encode the transport payload after address/port rewriting.
+fn rebuild(pkt: &mut Ipv4Packet, new_src: (Ipv4Addr, u16), new_dst: (Ipv4Addr, u16)) {
+    match pkt.protocol {
+        proto::TCP => {
+            let mut seg = TcpSegment::decode(pkt.src, pkt.dst, &pkt.payload)
+                .expect("caller validated");
+            seg.src_port = new_src.1;
+            seg.dst_port = new_dst.1;
+            pkt.src = new_src.0;
+            pkt.dst = new_dst.0;
+            pkt.payload = seg.encode(pkt.src, pkt.dst);
+        }
+        proto::UDP => {
+            let mut dg = UdpDatagram::decode(pkt.src, pkt.dst, &pkt.payload)
+                .expect("caller validated");
+            dg.src_port = new_src.1;
+            dg.dst_port = new_dst.1;
+            pkt.src = new_src.0;
+            pkt.dst = new_dst.0;
+            pkt.payload = dg.encode(pkt.src, pkt.dst);
+        }
+        _ => unreachable!("endpoints() gated"),
+    }
+}
+
+impl Netfilter {
+    /// Empty tables.
+    pub fn new() -> Netfilter {
+        Netfilter {
+            next_masq_port: 20_000,
+            ..Netfilter::default()
+        }
+    }
+
+    /// Append a DNAT rule (the paper's `iptables -t nat -A PREROUTING …`).
+    pub fn add_dnat(&mut self, rule: DnatRule) {
+        self.dnat_rules.push(rule);
+    }
+
+    /// Append a SNAT/MASQUERADE rule.
+    pub fn add_snat(&mut self, rule: SnatRule) {
+        self.snat_rules.push(rule);
+    }
+
+    /// True if any NAT rules are configured.
+    pub fn is_active(&self) -> bool {
+        !self.dnat_rules.is_empty() || !self.snat_rules.is_empty() || !self.pre_map.is_empty()
+    }
+
+    /// PREROUTING hook: may rewrite the packet's destination (DNAT) or
+    /// undo an earlier SNAT for reply traffic.
+    pub fn prerouting(&mut self, pkt: &mut Ipv4Packet) {
+        let Some((sport, dport)) = endpoints(pkt) else {
+            return;
+        };
+        let key: Tuple = (pkt.protocol, pkt.src, sport, pkt.dst, dport);
+
+        // Established flow?
+        if let Some(rw) = self.pre_map.get(&key).copied() {
+            self.apply(pkt, sport, dport, rw);
+            return;
+        }
+        // New flow: first matching DNAT rule wins.
+        let matched = self.dnat_rules.iter().find(|r| {
+            r.proto.is_none_or(|p| p == pkt.protocol)
+                && r.dst.is_none_or(|d| d == pkt.dst)
+                && r.dport.is_none_or(|p| p == dport)
+        });
+        if let Some(rule) = matched {
+            let to = rule.to;
+            // Forward direction: rewrite dst.
+            self.pre_map.insert(key, Rewrite::Dst(to.0, to.1));
+            // Reply direction: packets from `to` back to the client get
+            // their source rewritten to the original destination.
+            let reply_key: Tuple = (pkt.protocol, to.0, to.1, pkt.src, sport);
+            self.post_map
+                .insert(reply_key, Rewrite::Src(pkt.dst, dport));
+            self.apply(pkt, sport, dport, Rewrite::Dst(to.0, to.1));
+        }
+    }
+
+    /// POSTROUTING hook: may rewrite the packet's source (SNAT /
+    /// masquerade) or undo an earlier DNAT for reply traffic.
+    /// `out_ifindex` and `out_ip` describe the egress interface.
+    pub fn postrouting(&mut self, pkt: &mut Ipv4Packet, out_ifindex: IfIndex, out_ip: Ipv4Addr) {
+        let Some((sport, dport)) = endpoints(pkt) else {
+            return;
+        };
+        let key: Tuple = (pkt.protocol, pkt.src, sport, pkt.dst, dport);
+
+        if let Some(rw) = self.post_map.get(&key).copied() {
+            self.apply(pkt, sport, dport, rw);
+            return;
+        }
+        let matched = self.snat_rules.iter().find(|r| {
+            r.out_ifindex == out_ifindex
+                && r.src_net
+                    .is_none_or(|(net, plen)| crate::ip::in_subnet(pkt.src, net, plen))
+        });
+        if let Some(rule) = matched {
+            let new_ip = rule.to_ip.unwrap_or(out_ip);
+            let new_port = self.alloc_port();
+            self.post_map.insert(key, Rewrite::Src(new_ip, new_port));
+            // Reply direction: packets to (new_ip, new_port) get their
+            // destination restored.
+            let reply_key: Tuple = (pkt.protocol, pkt.dst, dport, new_ip, new_port);
+            self.pre_map.insert(reply_key, Rewrite::Dst(pkt.src, sport));
+            self.apply(pkt, sport, dport, Rewrite::Src(new_ip, new_port));
+        }
+    }
+
+    fn alloc_port(&mut self) -> u16 {
+        let p = self.next_masq_port;
+        self.next_masq_port = self.next_masq_port.wrapping_add(1).max(20_000);
+        p
+    }
+
+    fn apply(&mut self, pkt: &mut Ipv4Packet, sport: u16, dport: u16, rw: Rewrite) {
+        match rw {
+            Rewrite::Dst(ip, port) => {
+                self.dnat_hits += 1;
+                rebuild(pkt, (pkt.src, sport), (ip, port));
+            }
+            Rewrite::Src(ip, port) => {
+                self.snat_hits += 1;
+                rebuild(pkt, (ip, port), (pkt.dst, dport));
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tcp::flags;
+    use bytes::Bytes;
+
+    fn tcp_packet(
+        src: Ipv4Addr,
+        sport: u16,
+        dst: Ipv4Addr,
+        dport: u16,
+        payload: &'static [u8],
+    ) -> Ipv4Packet {
+        let seg = TcpSegment {
+            src_port: sport,
+            dst_port: dport,
+            seq: 1,
+            ack: 0,
+            flags: flags::ACK,
+            window: 1000,
+            payload: Bytes::from_static(payload),
+        };
+        Ipv4Packet::new(src, dst, proto::TCP, seg.encode(src, dst))
+    }
+
+    const CLIENT: Ipv4Addr = Ipv4Addr::new(192, 168, 0, 10);
+    const TARGET: Ipv4Addr = Ipv4Addr::new(10, 9, 9, 9);
+    const GATEWAY: Ipv4Addr = Ipv4Addr::new(192, 168, 0, 1);
+
+    fn papers_rule() -> Netfilter {
+        // iptables -t nat -A PREROUTING -p tcp -d Target --dport 80
+        //          -j DNAT --to Gateway:10101
+        let mut nf = Netfilter::new();
+        nf.add_dnat(DnatRule {
+            proto: Some(proto::TCP),
+            dst: Some(TARGET),
+            dport: Some(80),
+            to: (GATEWAY, 10101),
+        });
+        nf
+    }
+
+    #[test]
+    fn dnat_rewrites_and_checksums_stay_valid() {
+        let mut nf = papers_rule();
+        let mut pkt = tcp_packet(CLIENT, 4321, TARGET, 80, b"GET /");
+        nf.prerouting(&mut pkt);
+        assert_eq!(pkt.dst, GATEWAY);
+        let seg = TcpSegment::decode(pkt.src, pkt.dst, &pkt.payload).expect("valid checksum");
+        assert_eq!(seg.dst_port, 10101);
+        assert_eq!(&seg.payload[..], b"GET /");
+        assert_eq!(nf.dnat_hits, 1);
+    }
+
+    #[test]
+    fn reply_is_source_rewritten_back() {
+        let mut nf = papers_rule();
+        let mut fwd = tcp_packet(CLIENT, 4321, TARGET, 80, b"GET /");
+        nf.prerouting(&mut fwd);
+
+        // Gateway's local proxy answers from (GATEWAY, 10101).
+        let mut reply = tcp_packet(GATEWAY, 10101, CLIENT, 4321, b"HTTP/1.0 200 OK");
+        nf.postrouting(&mut reply, 0, GATEWAY);
+        // The victim sees the reply as coming from the real target.
+        assert_eq!(reply.src, TARGET);
+        let seg = TcpSegment::decode(reply.src, reply.dst, &reply.payload).unwrap();
+        assert_eq!(seg.src_port, 80);
+    }
+
+    #[test]
+    fn unrelated_traffic_untouched() {
+        let mut nf = papers_rule();
+        // Different destination port.
+        let mut pkt = tcp_packet(CLIENT, 4321, TARGET, 443, b"TLS");
+        nf.prerouting(&mut pkt);
+        assert_eq!(pkt.dst, TARGET);
+        // Different destination host.
+        let other = Ipv4Addr::new(10, 8, 8, 8);
+        let mut pkt = tcp_packet(CLIENT, 4321, other, 80, b"GET /");
+        nf.prerouting(&mut pkt);
+        assert_eq!(pkt.dst, other);
+        assert_eq!(nf.dnat_hits, 0);
+    }
+
+    #[test]
+    fn conntrack_is_per_flow() {
+        let mut nf = papers_rule();
+        let mut a = tcp_packet(CLIENT, 1111, TARGET, 80, b"a");
+        let mut b = tcp_packet(CLIENT, 2222, TARGET, 80, b"b");
+        nf.prerouting(&mut a);
+        nf.prerouting(&mut b);
+        // Replies routed by their own tuples.
+        let mut ra = tcp_packet(GATEWAY, 10101, CLIENT, 1111, b"ra");
+        let mut rb = tcp_packet(GATEWAY, 10101, CLIENT, 2222, b"rb");
+        nf.postrouting(&mut ra, 0, GATEWAY);
+        nf.postrouting(&mut rb, 0, GATEWAY);
+        assert_eq!(ra.src, TARGET);
+        assert_eq!(rb.src, TARGET);
+    }
+
+    #[test]
+    fn masquerade_allocates_distinct_ports_and_reverses() {
+        let wan = 1usize;
+        let mut nf = Netfilter::new();
+        nf.add_snat(SnatRule {
+            out_ifindex: wan,
+            src_net: None,
+            to_ip: None,
+        });
+        let gw_wan_ip = Ipv4Addr::new(203, 0, 113, 5);
+        let server = Ipv4Addr::new(198, 51, 100, 7);
+
+        let mut a = tcp_packet(CLIENT, 1111, server, 80, b"a");
+        let mut b = tcp_packet(Ipv4Addr::new(192, 168, 0, 11), 1111, server, 80, b"b");
+        nf.postrouting(&mut a, wan, gw_wan_ip);
+        nf.postrouting(&mut b, wan, gw_wan_ip);
+        assert_eq!(a.src, gw_wan_ip);
+        assert_eq!(b.src, gw_wan_ip);
+        let sa = TcpSegment::decode(a.src, a.dst, &a.payload).unwrap();
+        let sb = TcpSegment::decode(b.src, b.dst, &b.payload).unwrap();
+        assert_ne!(sa.src_port, sb.src_port, "distinct NAT ports");
+
+        // Reply to the first client.
+        let mut r = tcp_packet(server, 80, gw_wan_ip, sa.src_port, b"r");
+        nf.prerouting(&mut r);
+        assert_eq!(r.dst, CLIENT);
+        let sr = TcpSegment::decode(r.src, r.dst, &r.payload).unwrap();
+        assert_eq!(sr.dst_port, 1111);
+    }
+
+    #[test]
+    fn snat_only_on_matching_interface() {
+        let mut nf = Netfilter::new();
+        nf.add_snat(SnatRule {
+            out_ifindex: 1,
+            src_net: None,
+            to_ip: None,
+        });
+        let mut pkt = tcp_packet(CLIENT, 1111, TARGET, 80, b"x");
+        nf.postrouting(&mut pkt, 0, GATEWAY); // different iface
+        assert_eq!(pkt.src, CLIENT);
+    }
+
+    #[test]
+    fn udp_is_translated_too() {
+        let mut nf = Netfilter::new();
+        nf.add_dnat(DnatRule {
+            proto: Some(proto::UDP),
+            dst: Some(TARGET),
+            dport: Some(53),
+            to: (GATEWAY, 5353),
+        });
+        let dg = UdpDatagram::new(9999, 53, Bytes::from_static(b"query"));
+        let mut pkt = Ipv4Packet::new(CLIENT, TARGET, proto::UDP, dg.encode(CLIENT, TARGET));
+        nf.prerouting(&mut pkt);
+        assert_eq!(pkt.dst, GATEWAY);
+        let out = UdpDatagram::decode(pkt.src, pkt.dst, &pkt.payload).expect("valid checksum");
+        assert_eq!(out.dst_port, 5353);
+    }
+
+    #[test]
+    fn non_transport_protocols_pass_through() {
+        let mut nf = papers_rule();
+        let mut pkt = Ipv4Packet::new(CLIENT, TARGET, proto::ICMP, Bytes::from_static(b"ping"));
+        nf.prerouting(&mut pkt);
+        assert_eq!(pkt.dst, TARGET);
+    }
+}

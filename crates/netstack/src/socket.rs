@@ -1,0 +1,131 @@
+//! Socket handles and the per-host socket table.
+
+use std::collections::VecDeque;
+
+use bytes::Bytes;
+
+use crate::tcp::TcpConnection;
+use crate::Ipv4Addr;
+
+/// Opaque reference to a socket owned by a [`crate::Host`].
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct SocketHandle(pub u64);
+
+/// A socket.
+///
+/// (The `Tcp` variant is much larger than the others; hosts hold a
+/// handful of sockets, so boxing would buy nothing but indirection.)
+#[allow(clippy::large_enum_variant)]
+pub enum Socket {
+    /// Passive TCP listener.
+    TcpListener {
+        /// Bound port.
+        port: u16,
+        /// Accepted-but-not-yet-claimed connections.
+        backlog: VecDeque<SocketHandle>,
+    },
+    /// TCP connection endpoint.
+    Tcp(TcpConnection),
+    /// UDP endpoint.
+    Udp {
+        /// Bound port.
+        port: u16,
+        /// Received datagrams: (src ip, src port, payload).
+        rx: VecDeque<(Ipv4Addr, u16, Bytes)>,
+    },
+}
+
+/// The socket table.
+#[derive(Default)]
+pub struct SocketSet {
+    entries: Vec<(SocketHandle, Socket)>,
+    next_id: u64,
+}
+
+impl SocketSet {
+    /// Empty table.
+    pub fn new() -> SocketSet {
+        SocketSet::default()
+    }
+
+    /// Insert a socket, returning its handle.
+    pub fn insert(&mut self, socket: Socket) -> SocketHandle {
+        let h = SocketHandle(self.next_id);
+        self.next_id += 1;
+        self.entries.push((h, socket));
+        h
+    }
+
+    /// Borrow a socket.
+    pub fn get(&self, h: SocketHandle) -> Option<&Socket> {
+        self.entries.iter().find(|(k, _)| *k == h).map(|(_, s)| s)
+    }
+
+    /// Borrow a socket mutably.
+    pub fn get_mut(&mut self, h: SocketHandle) -> Option<&mut Socket> {
+        self.entries
+            .iter_mut()
+            .find(|(k, _)| *k == h)
+            .map(|(_, s)| s)
+    }
+
+    /// Remove a socket.
+    pub fn remove(&mut self, h: SocketHandle) -> Option<Socket> {
+        let idx = self.entries.iter().position(|(k, _)| *k == h)?;
+        Some(self.entries.remove(idx).1)
+    }
+
+    /// Iterate over all sockets.
+    pub fn iter_mut(&mut self) -> impl Iterator<Item = (SocketHandle, &mut Socket)> {
+        self.entries.iter_mut().map(|(h, s)| (*h, s))
+    }
+
+    /// Iterate immutably.
+    pub fn iter(&self) -> impl Iterator<Item = (SocketHandle, &Socket)> {
+        self.entries.iter().map(|(h, s)| (*h, s))
+    }
+
+    /// Number of sockets.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when no sockets exist.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_get_remove() {
+        let mut set = SocketSet::new();
+        let h = set.insert(Socket::Udp {
+            port: 53,
+            rx: VecDeque::new(),
+        });
+        assert!(matches!(set.get(h), Some(Socket::Udp { port: 53, .. })));
+        assert_eq!(set.len(), 1);
+        assert!(set.remove(h).is_some());
+        assert!(set.get(h).is_none());
+        assert!(set.is_empty());
+    }
+
+    #[test]
+    fn handles_are_unique_across_removal() {
+        let mut set = SocketSet::new();
+        let a = set.insert(Socket::Udp {
+            port: 1,
+            rx: VecDeque::new(),
+        });
+        set.remove(a);
+        let b = set.insert(Socket::Udp {
+            port: 2,
+            rx: VecDeque::new(),
+        });
+        assert_ne!(a, b);
+    }
+}

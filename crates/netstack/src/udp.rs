@@ -1,0 +1,123 @@
+//! UDP datagram codec (RFC 768) with pseudo-header checksums.
+
+use bytes::{BufMut, Bytes, BytesMut};
+
+use crate::ip::checksum_with_pseudo;
+use crate::{proto, Ipv4Addr};
+
+/// UDP header length.
+pub const HEADER_LEN: usize = 8;
+
+/// A parsed UDP datagram.
+#[derive(Clone, Debug, PartialEq)]
+pub struct UdpDatagram {
+    /// Source port.
+    pub src_port: u16,
+    /// Destination port.
+    pub dst_port: u16,
+    /// Payload.
+    pub payload: Bytes,
+}
+
+impl UdpDatagram {
+    /// Build a datagram.
+    pub fn new(src_port: u16, dst_port: u16, payload: impl Into<Bytes>) -> UdpDatagram {
+        UdpDatagram {
+            src_port,
+            dst_port,
+            payload: payload.into(),
+        }
+    }
+
+    /// Serialize, computing the checksum over the IPv4 pseudo-header.
+    pub fn encode(&self, src: Ipv4Addr, dst: Ipv4Addr) -> Bytes {
+        let len = HEADER_LEN + self.payload.len();
+        assert!(len <= 65_535, "UDP datagram too large");
+        let mut buf = BytesMut::with_capacity(len);
+        buf.put_u16(self.src_port);
+        buf.put_u16(self.dst_port);
+        buf.put_u16(len as u16);
+        buf.put_u16(0);
+        buf.put_slice(&self.payload);
+        let csum = checksum_with_pseudo(src, dst, proto::UDP, &buf);
+        buf[6..8].copy_from_slice(&csum.to_be_bytes());
+        buf.freeze()
+    }
+
+    /// Parse and verify the checksum.
+    pub fn decode(src: Ipv4Addr, dst: Ipv4Addr, bytes: &[u8]) -> Option<UdpDatagram> {
+        if bytes.len() < HEADER_LEN {
+            return None;
+        }
+        let len = u16::from_be_bytes([bytes[4], bytes[5]]) as usize;
+        if len < HEADER_LEN || len > bytes.len() {
+            return None;
+        }
+        let bytes = &bytes[..len];
+        let stored = u16::from_be_bytes([bytes[6], bytes[7]]);
+        if stored != 0 {
+            // Verify: checksum over the datagram with the field in place
+            // must fold to all-ones-complement zero.
+            let mut copy = bytes.to_vec();
+            copy[6] = 0;
+            copy[7] = 0;
+            let expect = checksum_with_pseudo(src, dst, proto::UDP, &copy);
+            if expect != stored {
+                return None;
+            }
+        }
+        Some(UdpDatagram {
+            src_port: u16::from_be_bytes([bytes[0], bytes[1]]),
+            dst_port: u16::from_be_bytes([bytes[2], bytes[3]]),
+            payload: Bytes::copy_from_slice(&bytes[HEADER_LEN..]),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ips() -> (Ipv4Addr, Ipv4Addr) {
+        (Ipv4Addr::new(10, 0, 0, 1), Ipv4Addr::new(10, 0, 0, 2))
+    }
+
+    #[test]
+    fn roundtrip() {
+        let (s, d) = ips();
+        let dg = UdpDatagram::new(5000, 53, Bytes::from_static(b"query"));
+        assert_eq!(UdpDatagram::decode(s, d, &dg.encode(s, d)).unwrap(), dg);
+    }
+
+    #[test]
+    fn wrong_pseudo_header_fails() {
+        // NAT that forgets to fix the checksum produces invalid datagrams.
+        let (s, d) = ips();
+        let dg = UdpDatagram::new(5000, 53, Bytes::from_static(b"query"));
+        let bytes = dg.encode(s, d);
+        assert!(UdpDatagram::decode(Ipv4Addr::new(9, 9, 9, 9), d, &bytes).is_none());
+    }
+
+    #[test]
+    fn corrupt_payload_fails() {
+        let (s, d) = ips();
+        let dg = UdpDatagram::new(1, 2, Bytes::from_static(b"payload"));
+        let mut bytes = dg.encode(s, d).to_vec();
+        let n = bytes.len();
+        bytes[n - 1] ^= 1;
+        assert!(UdpDatagram::decode(s, d, &bytes).is_none());
+    }
+
+    #[test]
+    fn short_rejected() {
+        let (s, d) = ips();
+        assert!(UdpDatagram::decode(s, d, &[0u8; 7]).is_none());
+    }
+
+    #[test]
+    fn empty_payload_ok() {
+        let (s, d) = ips();
+        let dg = UdpDatagram::new(7, 8, Bytes::new());
+        assert_eq!(UdpDatagram::decode(s, d, &dg.encode(s, d)).unwrap(), dg);
+    }
+}

@@ -1,0 +1,217 @@
+//! Minimal HTTP/1.0: request/response codecs and page scraping helpers.
+//!
+//! Deliberately HTTP/1.0 with close-delimited bodies: the 2003 attack
+//! relies on the response body simply ending when the connection closes,
+//! so netsed can grow or shrink content without fixing `Content-Length`.
+
+use bytes::Bytes;
+
+/// A parsed HTTP request head.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Request {
+    /// Method (GET, POST, …).
+    pub method: String,
+    /// Request path.
+    pub path: String,
+}
+
+/// Parse a request once the head (`\r\n\r\n`) is complete. Returns `None`
+/// until then or on malformed input.
+pub fn parse_request(buf: &[u8]) -> Option<Request> {
+    let head_end = find_subslice(buf, b"\r\n\r\n")?;
+    let head = std::str::from_utf8(&buf[..head_end]).ok()?;
+    let mut lines = head.split("\r\n");
+    let request_line = lines.next()?;
+    let mut parts = request_line.split(' ');
+    let method = parts.next()?.to_string();
+    let path = parts.next()?.to_string();
+    Some(Request { method, path })
+}
+
+/// Serialize a GET request.
+pub fn get_request(path: &str, host: &str) -> Vec<u8> {
+    format!("GET {path} HTTP/1.0\r\nHost: {host}\r\nUser-Agent: rogue-client/0.1\r\n\r\n")
+        .into_bytes()
+}
+
+/// Build a response with a close-delimited body.
+pub fn response(status: u16, reason: &str, content_type: &str, body: &[u8]) -> Vec<u8> {
+    let mut out = format!(
+        "HTTP/1.0 {status} {reason}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        body.len()
+    )
+    .into_bytes();
+    out.extend_from_slice(body);
+    out
+}
+
+/// Shorthand for 404.
+pub fn not_found() -> Vec<u8> {
+    response(404, "Not Found", "text/plain", b"not found")
+}
+
+/// Split a complete close-delimited response into (status, body).
+pub fn parse_response(buf: &[u8]) -> Option<(u16, Bytes)> {
+    let head_end = find_subslice(buf, b"\r\n\r\n")?;
+    let head = std::str::from_utf8(&buf[..head_end]).ok()?;
+    let status_line = head.split("\r\n").next()?;
+    let status: u16 = status_line.split(' ').nth(1)?.parse().ok()?;
+    Some((status, Bytes::copy_from_slice(&buf[head_end + 4..])))
+}
+
+/// First `href=` target on a page (the victim's "click the download
+/// link"). Handles bare (`href=file.tgz`) and quoted forms.
+pub fn find_href(body: &[u8]) -> Option<String> {
+    let idx = find_subslice(body, b"href=")?;
+    let rest = &body[idx + 5..];
+    let (rest, terminators): (&[u8], &[u8]) = match rest.first() {
+        Some(b'"') => (&rest[1..], b"\""),
+        Some(b'\'') => (&rest[1..], b"'"),
+        _ => (rest, b" >\r\n\t"),
+    };
+    let end = rest
+        .iter()
+        .position(|b| terminators.contains(b))
+        .unwrap_or(rest.len());
+    Some(String::from_utf8_lossy(&rest[..end]).into_owned())
+}
+
+/// The advertised `MD5SUM: <hex>` on a download page.
+pub fn find_md5sum(body: &[u8]) -> Option<String> {
+    let idx = find_subslice(body, b"MD5SUM: ")?;
+    let rest = &body[idx + 8..];
+    let hex: Vec<u8> = rest
+        .iter()
+        .copied()
+        .take_while(|b| b.is_ascii_hexdigit())
+        .collect();
+    if hex.len() == 32 {
+        Some(String::from_utf8(hex).expect("hexdigits"))
+    } else {
+        None
+    }
+}
+
+/// A link target: either a path on the same server, or an absolute
+/// `http://a.b.c.d/path` URL (the attacker's rewritten link points at a
+/// different host — "it reveals the real download IP to the client").
+#[derive(Clone, Debug, PartialEq)]
+pub enum LinkTarget {
+    /// Path on the origin server.
+    Relative(String),
+    /// (server IP, path) parsed from an absolute URL.
+    Absolute(std::net::Ipv4Addr, String),
+}
+
+/// Classify an href value. Percent-encoded `%2f` is decoded first — the
+/// paper's netsed rule smuggles `/` through as `%2f` so the literal rule
+/// string stays unambiguous.
+pub fn parse_link(href: &str) -> Option<LinkTarget> {
+    let href = href.replace("%2f", "/").replace("%2F", "/");
+    if let Some(rest) = href.strip_prefix("http://") {
+        let (host, path) = match rest.find('/') {
+            Some(i) => (&rest[..i], &rest[i..]),
+            None => (rest, "/"),
+        };
+        let ip: std::net::Ipv4Addr = host.parse().ok()?;
+        Some(LinkTarget::Absolute(ip, path.to_string()))
+    } else if href.starts_with('/') {
+        Some(LinkTarget::Relative(href))
+    } else {
+        Some(LinkTarget::Relative(format!("/{href}")))
+    }
+}
+
+/// Find the first occurrence of `needle` in `haystack`.
+pub fn find_subslice(haystack: &[u8], needle: &[u8]) -> Option<usize> {
+    if needle.is_empty() || haystack.len() < needle.len() {
+        return None;
+    }
+    haystack
+        .windows(needle.len())
+        .position(|w| w == needle)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn request_roundtrip() {
+        let raw = get_request("/download.html", "10.9.9.9");
+        let req = parse_request(&raw).unwrap();
+        assert_eq!(req.method, "GET");
+        assert_eq!(req.path, "/download.html");
+    }
+
+    #[test]
+    fn request_incomplete_returns_none() {
+        assert!(parse_request(b"GET / HTTP/1.0\r\nHost: x\r\n").is_none());
+    }
+
+    #[test]
+    fn response_roundtrip() {
+        let raw = response(200, "OK", "text/html", b"<html>hi</html>");
+        let (status, body) = parse_response(&raw).unwrap();
+        assert_eq!(status, 200);
+        assert_eq!(&body[..], b"<html>hi</html>");
+    }
+
+    #[test]
+    fn href_extraction_variants() {
+        assert_eq!(
+            find_href(b"<a href=file.tgz>download</a>").as_deref(),
+            Some("file.tgz")
+        );
+        assert_eq!(
+            find_href(b"<a href=\"/pub/file.tgz\">x</a>").as_deref(),
+            Some("/pub/file.tgz")
+        );
+        assert!(find_href(b"no links here").is_none());
+    }
+
+    #[test]
+    fn md5sum_extraction() {
+        let page = b"<p>MD5SUM: 0123456789abcdef0123456789abcdef</p>";
+        assert_eq!(
+            find_md5sum(page).as_deref(),
+            Some("0123456789abcdef0123456789abcdef")
+        );
+        assert!(find_md5sum(b"MD5SUM: tooshort").is_none());
+    }
+
+    #[test]
+    fn link_classification() {
+        assert_eq!(
+            parse_link("file.tgz"),
+            Some(LinkTarget::Relative("/file.tgz".into()))
+        );
+        assert_eq!(
+            parse_link("/a/b.tgz"),
+            Some(LinkTarget::Relative("/a/b.tgz".into()))
+        );
+        assert_eq!(
+            parse_link("http://10.6.6.6/evil.tgz"),
+            Some(LinkTarget::Absolute(
+                std::net::Ipv4Addr::new(10, 6, 6, 6),
+                "/evil.tgz".into()
+            ))
+        );
+        // The paper's %2f-encoded form.
+        assert_eq!(
+            parse_link("http://10.6.6.6%2fevil.tgz"),
+            Some(LinkTarget::Absolute(
+                std::net::Ipv4Addr::new(10, 6, 6, 6),
+                "/evil.tgz".into()
+            ))
+        );
+    }
+
+    #[test]
+    fn subslice_search() {
+        assert_eq!(find_subslice(b"hello world", b"world"), Some(6));
+        assert_eq!(find_subslice(b"hello", b"x"), None);
+        assert_eq!(find_subslice(b"", b"x"), None);
+        assert_eq!(find_subslice(b"abc", b""), None);
+    }
+}

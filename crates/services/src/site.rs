@@ -1,0 +1,171 @@
+//! The target download portal of Section 4.1, and the attacker's mirror.
+//!
+//! "We set up a sample target download web page which contained a
+//! downloadable binary, a link to that downloadable binary and an MD5SUM
+//! of that binary."
+
+use std::collections::HashMap;
+
+use bytes::Bytes;
+use rogue_crypto::md5_hex;
+use rogue_sim::SimRng;
+
+/// Static site content: path → (content type, body).
+#[derive(Clone, Debug, Default)]
+pub struct SiteContent {
+    routes: HashMap<String, (String, Bytes)>,
+}
+
+impl SiteContent {
+    /// Empty site.
+    pub fn new() -> SiteContent {
+        SiteContent::default()
+    }
+
+    /// Add a resource.
+    pub fn add(&mut self, path: &str, content_type: &str, body: impl Into<Bytes>) {
+        self.routes
+            .insert(path.to_string(), (content_type.to_string(), body.into()));
+    }
+
+    /// Look up a resource.
+    pub fn get(&self, path: &str) -> Option<(&str, &Bytes)> {
+        self.routes
+            .get(path)
+            .map(|(ct, b)| (ct.as_str(), b))
+    }
+
+    /// Number of resources.
+    pub fn len(&self) -> usize {
+        self.routes.len()
+    }
+
+    /// True when the site has no resources.
+    pub fn is_empty(&self) -> bool {
+        self.routes.is_empty()
+    }
+}
+
+/// Deterministically generate a "software release" binary of `len` bytes.
+pub fn make_binary(rng: &mut SimRng, len: usize) -> Bytes {
+    let mut v = vec![0u8; len];
+    rng.fill_bytes(&mut v);
+    Bytes::from(v)
+}
+
+/// The genuine download portal: page + binary + advertised MD5SUM.
+#[derive(Clone, Debug)]
+pub struct DownloadPortal {
+    /// The site to serve.
+    pub site: SiteContent,
+    /// The genuine binary bytes.
+    pub file: Bytes,
+    /// Its genuine md5 (hex).
+    pub real_md5: String,
+    /// Path of the page.
+    pub page_path: String,
+    /// Path of the binary.
+    pub file_path: String,
+}
+
+/// Build the Section 4.1 portal. The page embeds the link exactly as in
+/// the paper (`href=file.tgz`) and the checksum as `MD5SUM: <hex>`.
+pub fn download_portal(file: Bytes) -> DownloadPortal {
+    download_portal_padded(file, 0)
+}
+
+/// Like [`download_portal`], with `pad` filler bytes ahead of the
+/// content. Varying the pad shifts where the interesting strings fall
+/// relative to TCP segment boundaries — the E2 boundary-miss experiment
+/// randomizes it per replication.
+pub fn download_portal_padded(file: Bytes, pad: usize) -> DownloadPortal {
+    let real_md5 = md5_hex(&file);
+    let filler: String = "x".repeat(pad);
+    let page = format!(
+        "<html><!--{filler}--><head><title>Get our software</title></head><body>\
+         <h1>Software Release</h1>\
+         <p>Download: <a href=file.tgz>file.tgz</a></p>\
+         <p>MD5SUM: {real_md5}</p>\
+         </body></html>"
+    );
+    let mut site = SiteContent::new();
+    site.add("/download.html", "text/html", page.into_bytes());
+    site.add("/file.tgz", "application/octet-stream", file.clone());
+    DownloadPortal {
+        site,
+        file,
+        real_md5,
+        page_path: "/download.html".into(),
+        file_path: "/file.tgz".into(),
+    }
+}
+
+/// The attacker's server content: the trojaned binary at `/evil.tgz`.
+/// Returns (site, trojan md5 hex).
+pub fn trojan_site(trojan: Bytes) -> (SiteContent, String) {
+    let md5 = md5_hex(&trojan);
+    let mut site = SiteContent::new();
+    site.add("/evil.tgz", "application/octet-stream", trojan);
+    (site, md5)
+}
+
+/// A simple "news" page for the §5.1 trustworthy-website scenario.
+pub fn news_site() -> SiteContent {
+    let mut site = SiteContent::new();
+    site.add(
+        "/index.html",
+        "text/html",
+        Bytes::from_static(
+            b"<html><head><title>World News</title></head><body>\
+              <h1>Top Stories</h1><p>Nothing bad happened today.</p>\
+              </body></html>",
+        ),
+    );
+    site
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::http::{find_href, find_md5sum};
+    use rogue_sim::Seed;
+
+    #[test]
+    fn portal_page_is_scrapable() {
+        let mut rng = SimRng::new(Seed(1));
+        let portal = download_portal(make_binary(&mut rng, 1000));
+        let (_, page) = portal.site.get("/download.html").unwrap();
+        assert_eq!(find_href(page).as_deref(), Some("file.tgz"));
+        assert_eq!(find_md5sum(page).as_deref(), Some(portal.real_md5.as_str()));
+        let (_, file) = portal.site.get("/file.tgz").unwrap();
+        assert_eq!(rogue_crypto::md5_hex(file), portal.real_md5);
+    }
+
+    #[test]
+    fn binaries_are_deterministic_per_seed() {
+        let a = make_binary(&mut SimRng::new(Seed(7)), 64);
+        let b = make_binary(&mut SimRng::new(Seed(7)), 64);
+        let c = make_binary(&mut SimRng::new(Seed(8)), 64);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn trojan_differs_from_genuine() {
+        let mut rng = SimRng::new(Seed(1));
+        let real = make_binary(&mut rng, 512);
+        let troj = make_binary(&mut rng, 512);
+        let portal = download_portal(real);
+        let (site, troj_md5) = trojan_site(troj);
+        assert_ne!(portal.real_md5, troj_md5);
+        assert!(site.get("/evil.tgz").is_some());
+    }
+
+    #[test]
+    fn site_lookup_misses() {
+        let site = news_site();
+        assert!(site.get("/index.html").is_some());
+        assert!(site.get("/missing").is_none());
+        assert!(!site.is_empty());
+    }
+}

@@ -1,0 +1,261 @@
+//! The pending-event set.
+//!
+//! A thin, deterministic priority queue: events are ordered by
+//! `(fire_time, sequence_number)`, where the sequence number is assigned at
+//! scheduling time. Two events scheduled for the same instant therefore fire
+//! in the order they were scheduled — a property the reproduction's
+//! association-race experiment (E1) depends on, because a victim that hears
+//! a rogue beacon and a legitimate beacon "simultaneously" must resolve the
+//! tie the same way on every run.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use crate::time::SimTime;
+
+/// Opaque handle returned by [`EventQueue::schedule`], usable to cancel.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct EventId(u64);
+
+struct Entry<E> {
+    at: SimTime,
+    seq: u64,
+    event: E,
+}
+
+impl<E> PartialEq for Entry<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl<E> Eq for Entry<E> {}
+impl<E> PartialOrd for Entry<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<E> Ord for Entry<E> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap; invert for earliest-first.
+        other
+            .at
+            .cmp(&self.at)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+/// Deterministic future-event list.
+///
+/// ```
+/// use rogue_sim::{EventQueue, SimTime};
+/// let mut q = EventQueue::new();
+/// q.schedule(SimTime::from_millis(2), "later");
+/// q.schedule(SimTime::from_millis(1), "sooner");
+/// assert_eq!(q.pop().unwrap().1, "sooner");
+/// assert_eq!(q.now(), SimTime::from_millis(1));
+/// ```
+pub struct EventQueue<E> {
+    heap: BinaryHeap<Entry<E>>,
+    cancelled: std::collections::HashSet<u64>,
+    next_seq: u64,
+    now: SimTime,
+    dispatched: u64,
+}
+
+impl<E> Default for EventQueue<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> EventQueue<E> {
+    /// An empty queue positioned at time zero.
+    pub fn new() -> Self {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            cancelled: std::collections::HashSet::new(),
+            next_seq: 0,
+            now: SimTime::ZERO,
+            dispatched: 0,
+        }
+    }
+
+    /// Current simulation time: the fire time of the last popped event.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Number of events dispatched so far (monotone run statistic).
+    pub fn dispatched(&self) -> u64 {
+        self.dispatched
+    }
+
+    /// Number of pending (non-cancelled) events.
+    pub fn len(&self) -> usize {
+        self.heap.len() - self.cancelled.len()
+    }
+
+    /// True when nothing is pending.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Schedule `event` to fire at absolute time `at`.
+    ///
+    /// Scheduling in the past is a logic error in the caller and panics:
+    /// silently clamping would hide causality bugs in protocol code.
+    pub fn schedule(&mut self, at: SimTime, event: E) -> EventId {
+        assert!(
+            at >= self.now,
+            "attempted to schedule event in the past ({at:?} < {:?})",
+            self.now
+        );
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(Entry { at, seq, event });
+        EventId(seq)
+    }
+
+    /// Cancel a previously scheduled event. Returns true if it was still
+    /// pending. Cancellation is lazy: the entry is skipped at pop time.
+    pub fn cancel(&mut self, id: EventId) -> bool {
+        if id.0 >= self.next_seq {
+            return false;
+        }
+        // Only mark if it could still be in the heap.
+        if self.heap.iter().any(|e| e.seq == id.0) {
+            self.cancelled.insert(id.0)
+        } else {
+            false
+        }
+    }
+
+    /// Fire time of the next pending event, if any.
+    pub fn peek_time(&mut self) -> Option<SimTime> {
+        self.skip_cancelled();
+        self.heap.peek().map(|e| e.at)
+    }
+
+    /// Pop the next event, advancing `now` to its fire time.
+    pub fn pop(&mut self) -> Option<(SimTime, E)> {
+        self.skip_cancelled();
+        let entry = self.heap.pop()?;
+        debug_assert!(entry.at >= self.now);
+        self.now = entry.at;
+        self.dispatched += 1;
+        Some((entry.at, entry.event))
+    }
+
+    /// Pop the next event only if it fires at or before `deadline`.
+    pub fn pop_until(&mut self, deadline: SimTime) -> Option<(SimTime, E)> {
+        match self.peek_time() {
+            Some(t) if t <= deadline => self.pop(),
+            _ => None,
+        }
+    }
+
+    fn skip_cancelled(&mut self) {
+        while let Some(top) = self.heap.peek() {
+            if self.cancelled.remove(&top.seq) {
+                self.heap.pop();
+            } else {
+                break;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::time::SimDuration;
+
+    #[test]
+    fn fifo_within_same_instant() {
+        let mut q = EventQueue::new();
+        let t = SimTime::from_millis(5);
+        q.schedule(t, "a");
+        q.schedule(t, "b");
+        q.schedule(t, "c");
+        let order: Vec<&str> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
+        assert_eq!(order, vec!["a", "b", "c"]);
+    }
+
+    #[test]
+    fn time_ordering() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::from_millis(30), 3);
+        q.schedule(SimTime::from_millis(10), 1);
+        q.schedule(SimTime::from_millis(20), 2);
+        assert_eq!(q.pop().unwrap(), (SimTime::from_millis(10), 1));
+        assert_eq!(q.pop().unwrap(), (SimTime::from_millis(20), 2));
+        assert_eq!(q.pop().unwrap(), (SimTime::from_millis(30), 3));
+        assert!(q.pop().is_none());
+    }
+
+    #[test]
+    fn now_advances_with_pop() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::from_secs(1), ());
+        assert_eq!(q.now(), SimTime::ZERO);
+        q.pop();
+        assert_eq!(q.now(), SimTime::from_secs(1));
+        assert_eq!(q.dispatched(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "in the past")]
+    fn scheduling_in_the_past_panics() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::from_secs(10), ());
+        q.pop();
+        q.schedule(SimTime::from_secs(5), ());
+    }
+
+    #[test]
+    fn cancel_removes_event() {
+        let mut q = EventQueue::new();
+        let id = q.schedule(SimTime::from_millis(1), "doomed");
+        q.schedule(SimTime::from_millis(2), "kept");
+        assert!(q.cancel(id));
+        assert!(!q.cancel(id), "double cancel must be false");
+        assert_eq!(q.len(), 1);
+        assert_eq!(q.pop().unwrap().1, "kept");
+    }
+
+    #[test]
+    fn cancel_unknown_id_is_false() {
+        let mut q: EventQueue<()> = EventQueue::new();
+        assert!(!q.cancel(EventId(999)));
+    }
+
+    #[test]
+    fn pop_until_respects_deadline() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::from_millis(10), 1);
+        q.schedule(SimTime::from_millis(20), 2);
+        assert_eq!(q.pop_until(SimTime::from_millis(15)).unwrap().1, 1);
+        assert!(q.pop_until(SimTime::from_millis(15)).is_none());
+        assert_eq!(q.pop_until(SimTime::from_millis(25)).unwrap().1, 2);
+    }
+
+    #[test]
+    fn peek_skips_cancelled_head() {
+        let mut q = EventQueue::new();
+        let id = q.schedule(SimTime::from_millis(1), 1);
+        q.schedule(SimTime::from_millis(2), 2);
+        q.cancel(id);
+        assert_eq!(q.peek_time(), Some(SimTime::from_millis(2)));
+    }
+
+    #[test]
+    fn heavy_interleaving_is_stable() {
+        let mut q = EventQueue::new();
+        let base = SimTime::from_millis(1) + SimDuration::ZERO;
+        for i in 0..1000u64 {
+            q.schedule(base, i);
+        }
+        let got: Vec<u64> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
+        assert_eq!(got, (0..1000).collect::<Vec<_>>());
+    }
+}

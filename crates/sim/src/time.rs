@@ -1,0 +1,280 @@
+//! Integer-nanosecond virtual time.
+//!
+//! All protocol timers in the reproduction (802.11 airtime, TCP RTO, beacon
+//! intervals, VPN handshake timeouts) are expressed in [`SimDuration`]s and
+//! compared on the [`SimTime`] axis. Using integers rather than `f64`
+//! guarantees associativity and therefore cross-platform determinism.
+
+use std::fmt;
+use std::ops::{Add, AddAssign, Sub};
+
+/// An instant in simulated time, in nanoseconds since the start of the run.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct SimTime(pub u64);
+
+/// A span of simulated time, in nanoseconds.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct SimDuration(pub u64);
+
+impl SimTime {
+    /// The start of every simulation run.
+    pub const ZERO: SimTime = SimTime(0);
+    /// A sentinel later than any reachable instant.
+    pub const FOREVER: SimTime = SimTime(u64::MAX);
+
+    /// Construct from whole seconds.
+    pub const fn from_secs(s: u64) -> Self {
+        SimTime(s * 1_000_000_000)
+    }
+
+    /// Construct from whole milliseconds.
+    pub const fn from_millis(ms: u64) -> Self {
+        SimTime(ms * 1_000_000)
+    }
+
+    /// Construct from whole microseconds.
+    pub const fn from_micros(us: u64) -> Self {
+        SimTime(us * 1_000)
+    }
+
+    /// Nanoseconds since time zero.
+    pub const fn as_nanos(self) -> u64 {
+        self.0
+    }
+
+    /// Whole microseconds since time zero (truncated).
+    pub const fn as_micros(self) -> u64 {
+        self.0 / 1_000
+    }
+
+    /// Whole milliseconds since time zero (truncated).
+    pub const fn as_millis(self) -> u64 {
+        self.0 / 1_000_000
+    }
+
+    /// Seconds since time zero as a float, for reporting only.
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / 1e9
+    }
+
+    /// Saturating difference `self - earlier`.
+    pub fn since(self, earlier: SimTime) -> SimDuration {
+        SimDuration(self.0.saturating_sub(earlier.0))
+    }
+
+    /// Checked addition that saturates at [`SimTime::FOREVER`].
+    pub fn saturating_add(self, d: SimDuration) -> SimTime {
+        SimTime(self.0.saturating_add(d.0))
+    }
+}
+
+impl SimDuration {
+    /// The empty duration.
+    pub const ZERO: SimDuration = SimDuration(0);
+
+    /// Construct from whole seconds.
+    pub const fn from_secs(s: u64) -> Self {
+        SimDuration(s * 1_000_000_000)
+    }
+
+    /// Construct from whole milliseconds.
+    pub const fn from_millis(ms: u64) -> Self {
+        SimDuration(ms * 1_000_000)
+    }
+
+    /// Construct from whole microseconds.
+    pub const fn from_micros(us: u64) -> Self {
+        SimDuration(us * 1_000)
+    }
+
+    /// Construct from whole nanoseconds.
+    pub const fn from_nanos(ns: u64) -> Self {
+        SimDuration(ns)
+    }
+
+    /// Duration of `bits` transmitted at `bits_per_sec`, rounded up to the
+    /// next nanosecond so that airtime is never under-estimated.
+    pub fn for_bits(bits: u64, bits_per_sec: u64) -> Self {
+        assert!(bits_per_sec > 0, "bitrate must be positive");
+        let ns = (bits as u128 * 1_000_000_000u128).div_ceil(bits_per_sec as u128);
+        SimDuration(ns.min(u64::MAX as u128) as u64)
+    }
+
+    /// Nanoseconds in this duration.
+    pub const fn as_nanos(self) -> u64 {
+        self.0
+    }
+
+    /// Whole microseconds (truncated).
+    pub const fn as_micros(self) -> u64 {
+        self.0 / 1_000
+    }
+
+    /// Whole milliseconds (truncated).
+    pub const fn as_millis(self) -> u64 {
+        self.0 / 1_000_000
+    }
+
+    /// Seconds as a float, for reporting only.
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / 1e9
+    }
+
+    /// Scale by an integer factor, saturating.
+    pub fn saturating_mul(self, k: u64) -> SimDuration {
+        SimDuration(self.0.saturating_mul(k))
+    }
+
+    /// Halve (used by exponential-backoff style timers when decaying).
+    pub const fn halved(self) -> SimDuration {
+        SimDuration(self.0 / 2)
+    }
+
+    /// Double, saturating (RTO exponential backoff).
+    pub fn doubled(self) -> SimDuration {
+        SimDuration(self.0.saturating_mul(2))
+    }
+
+    /// Clamp into `[lo, hi]`.
+    pub fn clamp(self, lo: SimDuration, hi: SimDuration) -> SimDuration {
+        SimDuration(self.0.clamp(lo.0, hi.0))
+    }
+}
+
+impl Add<SimDuration> for SimTime {
+    type Output = SimTime;
+    fn add(self, rhs: SimDuration) -> SimTime {
+        SimTime(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign<SimDuration> for SimTime {
+    fn add_assign(&mut self, rhs: SimDuration) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub<SimTime> for SimTime {
+    type Output = SimDuration;
+    fn sub(self, rhs: SimTime) -> SimDuration {
+        SimDuration(self.0 - rhs.0)
+    }
+}
+
+impl Add for SimDuration {
+    type Output = SimDuration;
+    fn add(self, rhs: SimDuration) -> SimDuration {
+        SimDuration(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for SimDuration {
+    fn add_assign(&mut self, rhs: SimDuration) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub for SimDuration {
+    type Output = SimDuration;
+    fn sub(self, rhs: SimDuration) -> SimDuration {
+        SimDuration(self.0 - rhs.0)
+    }
+}
+
+impl fmt::Debug for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t={}", format_ns(self.0))
+    }
+}
+
+impl fmt::Display for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", format_ns(self.0))
+    }
+}
+
+impl fmt::Debug for SimDuration {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", format_ns(self.0))
+    }
+}
+
+impl fmt::Display for SimDuration {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", format_ns(self.0))
+    }
+}
+
+fn format_ns(ns: u64) -> String {
+    if ns >= 1_000_000_000 {
+        format!("{:.3}s", ns as f64 / 1e9)
+    } else if ns >= 1_000_000 {
+        format!("{:.3}ms", ns as f64 / 1e6)
+    } else if ns >= 1_000 {
+        format!("{:.3}us", ns as f64 / 1e3)
+    } else {
+        format!("{ns}ns")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_round_trips() {
+        assert_eq!(SimTime::from_secs(2).as_nanos(), 2_000_000_000);
+        assert_eq!(SimTime::from_millis(3).as_micros(), 3_000);
+        assert_eq!(SimTime::from_micros(7).as_nanos(), 7_000);
+        assert_eq!(SimDuration::from_secs(1).as_millis(), 1_000);
+    }
+
+    #[test]
+    fn arithmetic() {
+        let t = SimTime::from_millis(10) + SimDuration::from_millis(5);
+        assert_eq!(t.as_millis(), 15);
+        assert_eq!((t - SimTime::from_millis(10)).as_millis(), 5);
+        assert_eq!(t.since(SimTime::from_secs(100)), SimDuration::ZERO);
+    }
+
+    #[test]
+    fn airtime_rounds_up() {
+        // 1 bit at 3 bits/sec = 333,333,333.33.. ns, must round up.
+        let d = SimDuration::for_bits(1, 3);
+        assert_eq!(d.as_nanos(), 333_333_334);
+        // Exact division stays exact: 11 Mbps, 11_000 bits = 1 ms.
+        let d = SimDuration::for_bits(11_000, 11_000_000);
+        assert_eq!(d.as_nanos(), 1_000_000);
+    }
+
+    #[test]
+    fn backoff_helpers() {
+        let d = SimDuration::from_millis(200);
+        assert_eq!(d.doubled().as_millis(), 400);
+        assert_eq!(d.halved().as_millis(), 100);
+        let hi = SimDuration::from_secs(60);
+        let lo = SimDuration::from_millis(100);
+        assert_eq!(SimDuration::from_secs(600).clamp(lo, hi), hi);
+        assert_eq!(SimDuration::from_millis(1).clamp(lo, hi), lo);
+    }
+
+    #[test]
+    fn saturating_behaviour() {
+        assert_eq!(
+            SimTime::FOREVER.saturating_add(SimDuration::from_secs(1)),
+            SimTime::FOREVER
+        );
+        assert_eq!(
+            SimDuration(u64::MAX / 2).saturating_mul(u64::MAX),
+            SimDuration(u64::MAX)
+        );
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(SimTime::from_secs(1).to_string(), "1.000s");
+        assert_eq!(SimDuration::from_micros(1500).to_string(), "1.500ms");
+        assert_eq!(SimDuration::from_nanos(15).to_string(), "15ns");
+        assert_eq!(SimDuration::from_nanos(1500).to_string(), "1.500us");
+    }
+}

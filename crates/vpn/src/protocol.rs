@@ -1,0 +1,504 @@
+//! Handshake messages, record protection and replay defense.
+//!
+//! Handshake (3 messages, PSK-authenticated ephemeral DH):
+//!
+//! ```text
+//! C -> S  ClientHello { client_id, nonce_c, g^x }
+//! S -> C  ServerHello { nonce_s, g^y, HMAC(psk, "server-auth" ∥ T) }
+//! C -> S  ClientAuth  { HMAC(psk, "client-auth" ∥ T) }
+//! ```
+//!
+//! where `T = client_id ∥ nonce_c ∥ nonce_s ∥ g^x ∥ g^y`. Both sides
+//! derive directional ChaCha20 and HMAC-SHA1 keys from `g^xy` bound to
+//! the nonces. A man in the middle relaying the handshake unchanged
+//! learns nothing; one substituting its own DH shares cannot produce the
+//! PSK-bound authenticators.
+//!
+//! Records: `seq ∥ tag ∥ ChaCha20(key, nonce=seq, payload)` with
+//! `tag = HMAC-SHA1-96(mac_key, seq ∥ ciphertext)` and a 64-entry
+//! sliding replay window on receive.
+
+use rogue_crypto::chacha20::ChaCha20;
+use rogue_crypto::dh::{DhKeyPair, ELEMENT_LEN, EXPONENT_LEN};
+use rogue_crypto::hmac::{derive_key, hmac_sha1, hmac_sha1_96, verify_tag};
+use rogue_sim::SimRng;
+
+/// Pre-shared key length used by the reproduction.
+pub const PSK_LEN: usize = 32;
+
+/// Which encapsulation carries the records.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Transport {
+    /// One record per UDP datagram.
+    Udp,
+    /// Length-prefixed records over a TCP stream (PPP-over-SSH style).
+    Tcp,
+}
+
+/// Handshake / data messages.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Message {
+    /// C→S opener.
+    ClientHello {
+        /// Client identity (indexes the PSK on the server).
+        client_id: u32,
+        /// Client nonce.
+        nonce: [u8; 16],
+        /// Client DH public value.
+        dh_pub: Vec<u8>,
+    },
+    /// S→C response.
+    ServerHello {
+        /// Server nonce.
+        nonce: [u8; 16],
+        /// Server DH public value.
+        dh_pub: Vec<u8>,
+        /// `HMAC(psk, "server-auth" ∥ transcript)`.
+        auth: [u8; 20],
+    },
+    /// C→S authenticator.
+    ClientAuth {
+        /// `HMAC(psk, "client-auth" ∥ transcript)`.
+        auth: [u8; 20],
+    },
+    /// Protected data record.
+    Data {
+        /// Record sequence number.
+        seq: u64,
+        /// Truncated HMAC tag over `seq ∥ ciphertext`.
+        tag: [u8; 12],
+        /// ChaCha20 ciphertext of the inner IP packet.
+        ciphertext: Vec<u8>,
+    },
+}
+
+impl Message {
+    /// Serialize.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(64);
+        match self {
+            Message::ClientHello {
+                client_id,
+                nonce,
+                dh_pub,
+            } => {
+                out.push(1);
+                out.extend_from_slice(&client_id.to_be_bytes());
+                out.extend_from_slice(nonce);
+                out.extend_from_slice(dh_pub);
+            }
+            Message::ServerHello {
+                nonce,
+                dh_pub,
+                auth,
+            } => {
+                out.push(2);
+                out.extend_from_slice(nonce);
+                out.extend_from_slice(dh_pub);
+                out.extend_from_slice(auth);
+            }
+            Message::ClientAuth { auth } => {
+                out.push(3);
+                out.extend_from_slice(auth);
+            }
+            Message::Data {
+                seq,
+                tag,
+                ciphertext,
+            } => {
+                out.push(4);
+                out.extend_from_slice(&seq.to_be_bytes());
+                out.extend_from_slice(tag);
+                out.extend_from_slice(ciphertext);
+            }
+        }
+        out
+    }
+
+    /// Parse.
+    pub fn decode(bytes: &[u8]) -> Option<Message> {
+        let (&kind, rest) = bytes.split_first()?;
+        match kind {
+            1 => {
+                if rest.len() != 4 + 16 + ELEMENT_LEN {
+                    return None;
+                }
+                Some(Message::ClientHello {
+                    client_id: u32::from_be_bytes(rest[0..4].try_into().unwrap()),
+                    nonce: rest[4..20].try_into().unwrap(),
+                    dh_pub: rest[20..].to_vec(),
+                })
+            }
+            2 => {
+                if rest.len() != 16 + ELEMENT_LEN + 20 {
+                    return None;
+                }
+                Some(Message::ServerHello {
+                    nonce: rest[0..16].try_into().unwrap(),
+                    dh_pub: rest[16..16 + ELEMENT_LEN].to_vec(),
+                    auth: rest[16 + ELEMENT_LEN..].try_into().unwrap(),
+                })
+            }
+            3 => {
+                if rest.len() != 20 {
+                    return None;
+                }
+                Some(Message::ClientAuth {
+                    auth: rest.try_into().unwrap(),
+                })
+            }
+            4 => {
+                if rest.len() < 8 + 12 {
+                    return None;
+                }
+                Some(Message::Data {
+                    seq: u64::from_be_bytes(rest[0..8].try_into().unwrap()),
+                    tag: rest[8..20].try_into().unwrap(),
+                    ciphertext: rest[20..].to_vec(),
+                })
+            }
+            _ => None,
+        }
+    }
+}
+
+/// The handshake transcript both authenticators bind to.
+pub fn transcript(client_id: u32, nonce_c: &[u8; 16], nonce_s: &[u8; 16], pub_c: &[u8], pub_s: &[u8]) -> Vec<u8> {
+    let mut t = Vec::with_capacity(4 + 32 + 2 * ELEMENT_LEN);
+    t.extend_from_slice(&client_id.to_be_bytes());
+    t.extend_from_slice(nonce_c);
+    t.extend_from_slice(nonce_s);
+    t.extend_from_slice(pub_c);
+    t.extend_from_slice(pub_s);
+    t
+}
+
+/// PSK authenticator for one role.
+pub fn authenticator(psk: &[u8], role: &str, transcript: &[u8]) -> [u8; 20] {
+    let mut msg = Vec::with_capacity(role.len() + transcript.len());
+    msg.extend_from_slice(role.as_bytes());
+    msg.extend_from_slice(transcript);
+    hmac_sha1(psk, &msg)
+}
+
+/// Generate an ephemeral DH keypair from the simulation RNG.
+pub fn gen_keypair(rng: &mut SimRng) -> DhKeyPair {
+    let mut seed = [0u8; EXPONENT_LEN];
+    rng.fill_bytes(&mut seed);
+    DhKeyPair::generate(&seed)
+}
+
+/// Directional record protection for one established session side.
+pub struct SessionCrypto {
+    enc_tx: [u8; 32],
+    mac_tx: [u8; 32],
+    enc_rx: [u8; 32],
+    mac_rx: [u8; 32],
+    seq_tx: u64,
+    replay: ReplayWindow,
+    /// Records rejected for bad tags (tampering / wrong keys).
+    pub integrity_failures: u64,
+    /// Records rejected as replays.
+    pub replay_drops: u64,
+}
+
+impl SessionCrypto {
+    /// Derive directional keys. `is_client` selects which derived pair is
+    /// used for transmit.
+    pub fn derive(shared: &[u8], nonce_c: &[u8; 16], nonce_s: &[u8; 16], is_client: bool) -> Self {
+        let mut context = Vec::with_capacity(32);
+        context.extend_from_slice(nonce_c);
+        context.extend_from_slice(nonce_s);
+        let mut c2s_enc = [0u8; 32];
+        let mut c2s_mac = [0u8; 32];
+        let mut s2c_enc = [0u8; 32];
+        let mut s2c_mac = [0u8; 32];
+        derive_key(shared, "c2s-enc", &context, &mut c2s_enc);
+        derive_key(shared, "c2s-mac", &context, &mut c2s_mac);
+        derive_key(shared, "s2c-enc", &context, &mut s2c_enc);
+        derive_key(shared, "s2c-mac", &context, &mut s2c_mac);
+        let (enc_tx, mac_tx, enc_rx, mac_rx) = if is_client {
+            (c2s_enc, c2s_mac, s2c_enc, s2c_mac)
+        } else {
+            (s2c_enc, s2c_mac, c2s_enc, c2s_mac)
+        };
+        SessionCrypto {
+            enc_tx,
+            mac_tx,
+            enc_rx,
+            mac_rx,
+            seq_tx: 0,
+            replay: ReplayWindow::new(),
+            integrity_failures: 0,
+            replay_drops: 0,
+        }
+    }
+
+    fn record_nonce(seq: u64) -> [u8; 12] {
+        let mut n = [0u8; 12];
+        n[..8].copy_from_slice(&seq.to_le_bytes());
+        n
+    }
+
+    /// Protect one inner packet.
+    pub fn seal(&mut self, payload: &[u8]) -> Message {
+        let seq = self.seq_tx;
+        self.seq_tx += 1;
+        let mut ct = payload.to_vec();
+        ChaCha20::new(&self.enc_tx, &Self::record_nonce(seq), 0).apply_keystream(&mut ct);
+        let mut mac_input = Vec::with_capacity(8 + ct.len());
+        mac_input.extend_from_slice(&seq.to_be_bytes());
+        mac_input.extend_from_slice(&ct);
+        let tag = hmac_sha1_96(&self.mac_tx, &mac_input);
+        Message::Data {
+            seq,
+            tag,
+            ciphertext: ct,
+        }
+    }
+
+    /// Verify and decrypt one record. Returns the inner packet, or `None`
+    /// (counting the reason) for forgeries and replays.
+    pub fn open(&mut self, seq: u64, tag: &[u8; 12], ciphertext: &[u8]) -> Option<Vec<u8>> {
+        let mut mac_input = Vec::with_capacity(8 + ciphertext.len());
+        mac_input.extend_from_slice(&seq.to_be_bytes());
+        mac_input.extend_from_slice(ciphertext);
+        let expect = hmac_sha1_96(&self.mac_rx, &mac_input);
+        if !verify_tag(&expect, tag) {
+            self.integrity_failures += 1;
+            return None;
+        }
+        if !self.replay.accept(seq) {
+            self.replay_drops += 1;
+            return None;
+        }
+        let mut pt = ciphertext.to_vec();
+        ChaCha20::new(&self.enc_rx, &Self::record_nonce(seq), 0).apply_keystream(&mut pt);
+        Some(pt)
+    }
+}
+
+/// 64-entry sliding window replay filter.
+struct ReplayWindow {
+    max_seq: u64,
+    bitmap: u64,
+    any: bool,
+}
+
+impl ReplayWindow {
+    fn new() -> ReplayWindow {
+        ReplayWindow {
+            max_seq: 0,
+            bitmap: 0,
+            any: false,
+        }
+    }
+
+    /// Accept `seq` exactly once; false for replays / too-old records.
+    fn accept(&mut self, seq: u64) -> bool {
+        if !self.any {
+            self.any = true;
+            self.max_seq = seq;
+            self.bitmap = 1;
+            return true;
+        }
+        if seq > self.max_seq {
+            let shift = seq - self.max_seq;
+            self.bitmap = if shift >= 64 { 0 } else { self.bitmap << shift };
+            self.bitmap |= 1;
+            self.max_seq = seq;
+            true
+        } else {
+            let offset = self.max_seq - seq;
+            if offset >= 64 {
+                return false; // too old
+            }
+            let bit = 1u64 << offset;
+            if self.bitmap & bit != 0 {
+                return false; // replay
+            }
+            self.bitmap |= bit;
+            true
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rogue_sim::Seed;
+
+    fn established_pair() -> (SessionCrypto, SessionCrypto) {
+        let mut rng = SimRng::new(Seed(1));
+        let ckp = gen_keypair(&mut rng);
+        let skp = gen_keypair(&mut rng);
+        let shared_c = ckp.agree(&skp.public).unwrap();
+        let shared_s = skp.agree(&ckp.public).unwrap();
+        assert_eq!(shared_c, shared_s);
+        let nc = [1u8; 16];
+        let ns = [2u8; 16];
+        (
+            SessionCrypto::derive(&shared_c, &nc, &ns, true),
+            SessionCrypto::derive(&shared_s, &nc, &ns, false),
+        )
+    }
+
+    #[test]
+    fn message_codecs_roundtrip() {
+        let mut rng = SimRng::new(Seed(2));
+        let kp = gen_keypair(&mut rng);
+        let msgs = vec![
+            Message::ClientHello {
+                client_id: 7,
+                nonce: [9u8; 16],
+                dh_pub: kp.public.clone(),
+            },
+            Message::ServerHello {
+                nonce: [8u8; 16],
+                dh_pub: kp.public.clone(),
+                auth: [3u8; 20],
+            },
+            Message::ClientAuth { auth: [4u8; 20] },
+            Message::Data {
+                seq: 42,
+                tag: [5u8; 12],
+                ciphertext: b"packet bytes".to_vec(),
+            },
+        ];
+        for m in msgs {
+            assert_eq!(Message::decode(&m.encode()).unwrap(), m);
+        }
+        assert!(Message::decode(&[]).is_none());
+        assert!(Message::decode(&[9, 1, 2]).is_none());
+    }
+
+    #[test]
+    fn seal_open_roundtrip_both_directions() {
+        let (mut c, mut s) = established_pair();
+        let m = c.seal(b"client to server");
+        let Message::Data {
+            seq,
+            tag,
+            ciphertext,
+        } = m
+        else {
+            unreachable!()
+        };
+        assert_ne!(&ciphertext[..], b"client to server");
+        assert_eq!(
+            s.open(seq, &tag, &ciphertext).unwrap(),
+            b"client to server"
+        );
+
+        let m = s.seal(b"server to client");
+        let Message::Data {
+            seq,
+            tag,
+            ciphertext,
+        } = m
+        else {
+            unreachable!()
+        };
+        assert_eq!(
+            c.open(seq, &tag, &ciphertext).unwrap(),
+            b"server to client"
+        );
+    }
+
+    #[test]
+    fn tampering_detected() {
+        let (mut c, mut s) = established_pair();
+        let Message::Data {
+            seq,
+            tag,
+            mut ciphertext,
+        } = c.seal(b"do not touch")
+        else {
+            unreachable!()
+        };
+        ciphertext[0] ^= 0x01;
+        assert!(s.open(seq, &tag, &ciphertext).is_none());
+        assert_eq!(s.integrity_failures, 1);
+    }
+
+    #[test]
+    fn replay_rejected() {
+        let (mut c, mut s) = established_pair();
+        let Message::Data {
+            seq,
+            tag,
+            ciphertext,
+        } = c.seal(b"once only")
+        else {
+            unreachable!()
+        };
+        assert!(s.open(seq, &tag, &ciphertext).is_some());
+        assert!(s.open(seq, &tag, &ciphertext).is_none());
+        assert_eq!(s.replay_drops, 1);
+    }
+
+    #[test]
+    fn out_of_order_within_window_accepted() {
+        let (mut c, mut s) = established_pair();
+        let records: Vec<_> = (0..5).map(|i| c.seal(format!("r{i}").as_bytes())).collect();
+        // Deliver 4, 2, 0, 1, 3.
+        for idx in [4usize, 2, 0, 1, 3] {
+            let Message::Data {
+                seq,
+                tag,
+                ciphertext,
+            } = &records[idx]
+            else {
+                unreachable!()
+            };
+            assert!(
+                s.open(*seq, tag, ciphertext).is_some(),
+                "record {idx} must be accepted"
+            );
+        }
+        assert_eq!(s.replay_drops, 0);
+    }
+
+    #[test]
+    fn replay_window_edges() {
+        let mut w = ReplayWindow::new();
+        assert!(w.accept(5));
+        assert!(!w.accept(5));
+        assert!(w.accept(4));
+        assert!(w.accept(100));
+        assert!(!w.accept(36), "slid out of window");
+        assert!(w.accept(37), "exactly at window edge");
+    }
+
+    #[test]
+    fn wrong_psk_authenticators_differ() {
+        let t = transcript(1, &[1; 16], &[2; 16], &[3; 128], &[4; 128]);
+        let a = authenticator(&[7u8; PSK_LEN], "server-auth", &t);
+        let b = authenticator(&[8u8; PSK_LEN], "server-auth", &t);
+        assert_ne!(a, b);
+        // Role separation too.
+        let c = authenticator(&[7u8; PSK_LEN], "client-auth", &t);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn directional_keys_differ() {
+        let (mut c, _s) = established_pair();
+        let Message::Data {
+            ciphertext: ct1, ..
+        } = c.seal(b"same plaintext")
+        else {
+            unreachable!()
+        };
+        // Re-derive as server and seal the same plaintext with seq 0: the
+        // c2s and s2c streams must differ.
+        let (_, mut s) = established_pair();
+        let Message::Data {
+            ciphertext: ct2, ..
+        } = s.seal(b"same plaintext")
+        else {
+            unreachable!()
+        };
+        assert_ne!(ct1, ct2);
+    }
+}

@@ -1,0 +1,271 @@
+//! Property-based tests over the substrate invariants, spanning crates.
+//!
+//! The codecs and state machines here are what every experiment's
+//! numbers rest on; proptest hammers them with adversarial inputs.
+
+use bytes::Bytes;
+use proptest::prelude::*;
+use rogue_crypto::wep::{open, seal, WepKey};
+use rogue_crypto::{md5, Rc4};
+use rogue_dot11::frame::{decode_llc, encode_llc, Frame, FrameBody};
+use rogue_dot11::MacAddr;
+use rogue_netstack::ip::Ipv4Packet;
+use rogue_netstack::tcp::{flags, TcpSegment};
+use rogue_netstack::udp::UdpDatagram;
+use rogue_services::netsed::{apply_rules, NetsedRule};
+use std::net::Ipv4Addr;
+
+proptest! {
+    /// RC4 is an involution under the same key.
+    #[test]
+    fn rc4_roundtrip(key in proptest::collection::vec(any::<u8>(), 1..64),
+                     data in proptest::collection::vec(any::<u8>(), 0..2048)) {
+        let enc = Rc4::process(&key, &data);
+        let dec = Rc4::process(&key, &enc);
+        prop_assert_eq!(dec, data);
+    }
+
+    /// WEP seal/open round-trips for both key sizes and all IVs.
+    #[test]
+    fn wep_roundtrip(secret in proptest::collection::vec(any::<u8>(), 5..=5),
+                     iv in any::<[u8; 3]>(),
+                     payload in proptest::collection::vec(any::<u8>(), 0..1600)) {
+        let key = WepKey::new(&secret);
+        let body = seal(&key, iv, 0, &payload);
+        prop_assert_eq!(open(&key, &body).unwrap(), payload);
+    }
+
+    /// Any single-bit corruption of a WEP body is caught by the ICV
+    /// (absent a deliberate CRC patch).
+    #[test]
+    fn wep_corruption_detected(payload in proptest::collection::vec(any::<u8>(), 1..256),
+                               bit in 0usize..64) {
+        let key = WepKey::new(b"AB#12");
+        let mut body = seal(&key, [9, 9, 9], 0, &payload);
+        let nbits = body.len() * 8;
+        let target = 32 + bit % (nbits - 32); // skip the cleartext IV/keyid
+        body[target / 8] ^= 1 << (target % 8);
+        prop_assert!(open(&key, &body).is_err());
+    }
+
+    /// MD5 streaming == one-shot for arbitrary chunkings.
+    #[test]
+    fn md5_chunking(data in proptest::collection::vec(any::<u8>(), 0..4096),
+                    cut in any::<u16>()) {
+        let mut h = rogue_crypto::md5::Md5::new();
+        let cut = (cut as usize) % (data.len() + 1);
+        h.update(&data[..cut]);
+        h.update(&data[cut..]);
+        prop_assert_eq!(h.finalize(), md5(&data));
+    }
+
+    /// 802.11 frames round-trip through the wire codec.
+    #[test]
+    fn dot11_data_frame_roundtrip(a1 in any::<[u8; 6]>(), a2 in any::<[u8; 6]>(),
+                                  a3 in any::<[u8; 6]>(), seq in 0u16..4096,
+                                  to_ds in any::<bool>(), protected in any::<bool>(),
+                                  payload in proptest::collection::vec(any::<u8>(), 0..512)) {
+        let mut f = Frame::new(MacAddr(a1), MacAddr(a2), MacAddr(a3), FrameBody::Data {
+            payload: Bytes::from(payload),
+        });
+        f.seq = seq;
+        f.to_ds = to_ds;
+        f.protected = protected;
+        let g = Frame::decode(&f.encode()).unwrap();
+        prop_assert_eq!(f, g);
+    }
+
+    /// Corrupt 802.11 frames never decode (FCS).
+    #[test]
+    fn dot11_corruption_rejected(payload in proptest::collection::vec(any::<u8>(), 0..128),
+                                 byte in any::<u16>(), flip in 1u8..=255) {
+        let f = Frame::new(MacAddr::local(1), MacAddr::local(2), MacAddr::local(3),
+                           FrameBody::Data { payload: Bytes::from(payload) });
+        let mut bytes = f.encode().to_vec();
+        let idx = byte as usize % bytes.len();
+        bytes[idx] ^= flip;
+        prop_assert!(Frame::decode(&bytes).is_err());
+    }
+
+    /// LLC/SNAP encapsulation round-trips.
+    #[test]
+    fn llc_roundtrip(ethertype in any::<u16>(),
+                     payload in proptest::collection::vec(any::<u8>(), 0..512)) {
+        let framed = encode_llc(ethertype, &payload);
+        let (et, inner) = decode_llc(&framed).unwrap();
+        prop_assert_eq!(et, ethertype);
+        prop_assert_eq!(inner, &payload[..]);
+    }
+
+    /// IPv4 packets round-trip and corruption is caught by the header
+    /// checksum (when it lands in the header).
+    #[test]
+    fn ipv4_roundtrip(src in any::<u32>(), dst in any::<u32>(), proto in any::<u8>(),
+                      payload in proptest::collection::vec(any::<u8>(), 0..1024)) {
+        let p = Ipv4Packet::new(Ipv4Addr::from(src), Ipv4Addr::from(dst), proto,
+                                Bytes::from(payload));
+        let q = Ipv4Packet::decode(&p.encode()).unwrap();
+        prop_assert_eq!(p, q);
+    }
+
+    /// TCP segments round-trip with valid checksums.
+    #[test]
+    fn tcp_segment_roundtrip(sp in any::<u16>(), dp in any::<u16>(), seq in any::<u32>(),
+                             ack in any::<u32>(), win in any::<u16>(),
+                             payload in proptest::collection::vec(any::<u8>(), 0..1400)) {
+        let src = Ipv4Addr::new(10, 0, 0, 1);
+        let dst = Ipv4Addr::new(10, 0, 0, 2);
+        let s = TcpSegment {
+            src_port: sp, dst_port: dp, seq, ack,
+            flags: flags::ACK | flags::PSH, window: win,
+            payload: Bytes::from(payload),
+        };
+        prop_assert_eq!(TcpSegment::decode(src, dst, &s.encode(src, dst)).unwrap(), s);
+    }
+
+    /// UDP datagrams round-trip with valid checksums.
+    #[test]
+    fn udp_roundtrip(sp in any::<u16>(), dp in any::<u16>(),
+                     payload in proptest::collection::vec(any::<u8>(), 0..1400)) {
+        let src = Ipv4Addr::new(172, 16, 0, 1);
+        let dst = Ipv4Addr::new(172, 16, 0, 2);
+        let d = UdpDatagram::new(sp, dp, Bytes::from(payload));
+        prop_assert_eq!(UdpDatagram::decode(src, dst, &d.encode(src, dst)).unwrap(), d);
+    }
+
+    /// netsed rewriting is exact: applying a rule whose search string is
+    /// absent never changes the data, and replacing then reversing is
+    /// the identity when search/replace are unique non-overlapping.
+    #[test]
+    fn netsed_no_match_is_identity(data in proptest::collection::vec(any::<u8>(), 0..512)) {
+        // A 17-byte needle that cannot occur in arbitrary short data by
+        // construction: we delete any accidental hits first.
+        let needle = b"\x00NEEDLE-NEEDLE-17".to_vec();
+        let clean: Vec<u8> = data.iter().copied().filter(|&b| b != 0).collect();
+        let rules = vec![NetsedRule { search: needle, replace: b"x".to_vec() }];
+        let (out, hits) = apply_rules(&rules, &clean);
+        prop_assert_eq!(hits, 0);
+        prop_assert_eq!(out, clean);
+    }
+
+    /// The number of netsed hits equals the number of non-overlapping
+    /// occurrences.
+    #[test]
+    fn netsed_counts_occurrences(n in 0usize..20) {
+        let mut data = Vec::new();
+        for _ in 0..n {
+            data.extend_from_slice(b"PATTERN");
+            data.push(b'-');
+        }
+        let rules = vec![NetsedRule::new("PATTERN", "replaced")];
+        let (_, hits) = apply_rules(&rules, &data);
+        prop_assert_eq!(hits as usize, n);
+    }
+}
+
+/// A deterministic (non-proptest) TCP stress: random payload sizes pushed
+/// through two hosts over a perfect wire; everything must arrive intact
+/// and in order.
+#[test]
+fn tcp_bulk_random_sizes() {
+    use rogue_dot11::MacAddr as Mac;
+    use rogue_netstack::Host;
+    use rogue_sim::{Seed, SimDuration, SimRng, SimTime};
+
+    let mut rng = SimRng::new(Seed(99));
+    for trial in 0..5 {
+        let size = 1 + rng.below(120_000) as usize;
+        let mut a = Host::new("a", SimRng::new(Seed(trial)));
+        let mut b = Host::new("b", SimRng::new(Seed(trial + 100)));
+        let ip_a = Ipv4Addr::new(10, 0, 0, 1);
+        let ip_b = Ipv4Addr::new(10, 0, 0, 2);
+        a.add_iface(Mac::local(1), ip_a, 24);
+        b.add_iface(Mac::local(2), ip_b, 24);
+        let lh = b.tcp_listen(80);
+        let ch = a.tcp_connect(SimTime::ZERO, ip_b, 80);
+        let data: Vec<u8> = (0..size).map(|i| (i * 31 % 251) as u8).collect();
+
+        let mut sent = 0usize;
+        let mut got: Vec<u8> = Vec::new();
+        let mut sh = None;
+        let mut now = SimTime::ZERO;
+        for _ in 0..40_000 {
+            now += SimDuration::from_millis(1);
+            a.poll(now);
+            b.poll(now);
+            if sent < data.len() {
+                sent += a.tcp_send(now, ch, &data[sent..]);
+                if sent == data.len() {
+                    a.tcp_close(now, ch);
+                }
+            }
+            if sh.is_none() {
+                sh = b.tcp_accept(lh);
+            }
+            if let Some(h) = sh {
+                got.extend(b.tcp_recv(h, 64 * 1024));
+            }
+            let fa = a.take_frames();
+            let fb = b.take_frames();
+            if got.len() == data.len() {
+                break;
+            }
+            for (_, f) in fa {
+                b.on_link_rx(now, 0, &f);
+            }
+            for (_, f) in fb {
+                a.on_link_rx(now, 0, &f);
+            }
+        }
+        assert_eq!(got.len(), data.len(), "trial {trial} size {size}");
+        assert_eq!(got, data, "trial {trial} corrupted");
+    }
+}
+
+/// TCP through a world-composed impaired segment: loss AND reordering
+/// jitter. The transfer must still arrive intact.
+#[test]
+fn tcp_survives_loss_and_reordering() {
+    use rogue_core::world::World;
+    use rogue_dot11::MacAddr as Mac;
+    use rogue_phy::MediumParams;
+    use rogue_services::apps::{DownloadClient, HttpServerApp};
+    use rogue_services::site::{download_portal, make_binary};
+    use rogue_sim::{Seed, SimDuration, SimRng, SimTime};
+
+    let seed = Seed(4242);
+    let mut world = World::new(seed, MediumParams::default());
+    // 3% loss, 2 ms jitter on 1 ms latency: heavy reordering.
+    let wire = world.add_switch_impaired(
+        SimDuration::from_millis(1),
+        0.03,
+        SimDuration::from_millis(2),
+    );
+    let a = world.add_node("client");
+    world.add_wired_iface(a, wire, Mac::local(1), Ipv4Addr::new(10, 0, 0, 1), 24);
+    let b = world.add_node("server");
+    world.add_wired_iface(b, wire, Mac::local(2), Ipv4Addr::new(10, 0, 0, 2), 24);
+
+    let mut rng = SimRng::new(seed);
+    let portal = download_portal(make_binary(&mut rng, 100 * 1024));
+    world.add_app(b, Box::new(HttpServerApp::new(80, portal.site.clone())));
+    let dl = world.add_app(
+        a,
+        Box::new(DownloadClient::new(
+            Ipv4Addr::new(10, 0, 0, 2),
+            "/download.html",
+            SimTime::from_millis(10),
+            SimDuration::from_secs(120),
+        )),
+    );
+    world.run_until(SimTime::from_secs(130));
+    let o = world
+        .app::<DownloadClient>(a, dl)
+        .outcome
+        .clone()
+        .expect("finished");
+    assert!(o.error.is_none(), "error: {:?}", o.error);
+    assert!(o.verified, "bytes must survive loss + reordering intact");
+    assert_eq!(o.file_len, 100 * 1024);
+    assert_eq!(o.file_bytes.as_ref().unwrap(), &portal.file);
+}
