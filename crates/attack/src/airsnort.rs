@@ -70,9 +70,7 @@ impl Airsnort {
         let result = self.recovery.crack(key_len);
         let candidate = WepKey::new(&result.key);
         match &self.verify_body {
-            Some(body) if wep::open(&candidate, body).is_ok() => {
-                CrackOutcome::Recovered(candidate)
-            }
+            Some(body) if wep::open(&candidate, body).is_ok() => CrackOutcome::Recovered(candidate),
             Some(_) => CrackOutcome::CandidateFailed {
                 candidate: result.key,
             },
@@ -140,7 +138,12 @@ mod tests {
         let key = WepKey::new(b"KY#07");
         let mut sniffer = Sniffer::new();
         for (i, iv) in targeted_weak_ivs(5, 2).into_iter().enumerate() {
-            sniffer.on_receive(SimTime::ZERO, &protected_frame(&key, iv, i as u16), -48.0, 1);
+            sniffer.on_receive(
+                SimTime::ZERO,
+                &protected_frame(&key, iv, i as u16),
+                -48.0,
+                1,
+            );
         }
         let mut snort = Airsnort::new();
         snort.absorb_sniffer(&sniffer);
@@ -167,7 +170,12 @@ mod tests {
     fn harvests_macs_through_wrapper() {
         let key = WepKey::new(b"KY#07");
         let mut sniffer = Sniffer::new();
-        sniffer.on_receive(SimTime::ZERO, &protected_frame(&key, [1, 2, 3], 1), -48.0, 1);
+        sniffer.on_receive(
+            SimTime::ZERO,
+            &protected_frame(&key, [1, 2, 3], 1),
+            -48.0,
+            1,
+        );
         let macs = harvest_client_macs(&sniffer, MacAddr::local(1));
         assert_eq!(macs, vec![MacAddr::local(2)]);
     }

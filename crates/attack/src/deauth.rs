@@ -55,9 +55,14 @@ impl DeauthFlooder {
     /// Build one forged deauth frame (also usable standalone).
     pub fn forge(bssid: MacAddr, victim: MacAddr) -> Frame {
         // addr2/addr3 = BSSID: indistinguishable from the real AP.
-        Frame::new(victim, bssid, bssid, FrameBody::Deauth {
-            reason: REASON_CLASS3,
-        })
+        Frame::new(
+            victim,
+            bssid,
+            bssid,
+            FrameBody::Deauth {
+                reason: REASON_CLASS3,
+            },
+        )
     }
 
     /// Earliest instant this injector needs a poll.
@@ -99,7 +104,12 @@ mod tests {
         assert_eq!(parsed.addr1, victim);
         assert_eq!(parsed.addr2, bssid, "claims to come from the AP");
         assert_eq!(parsed.bssid(), bssid);
-        assert!(matches!(parsed.body, FrameBody::Deauth { reason: REASON_CLASS3 }));
+        assert!(matches!(
+            parsed.body,
+            FrameBody::Deauth {
+                reason: REASON_CLASS3
+            }
+        ));
     }
 
     #[test]

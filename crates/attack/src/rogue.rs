@@ -18,12 +18,7 @@ use rogue_sim::SimDuration;
 /// * `bssid` — the victim AP's BSSID (cloned verbatim),
 /// * `channel` — the rogue's own operating channel,
 /// * `wep` — the recovered key, if the network uses privacy.
-pub fn clone_ap(
-    observed: &MgmtInfo,
-    bssid: MacAddr,
-    channel: u8,
-    wep: Option<WepKey>,
-) -> ApConfig {
+pub fn clone_ap(observed: &MgmtInfo, bssid: MacAddr, channel: u8, wep: Option<WepKey>) -> ApConfig {
     ApConfig {
         bssid,
         ssid: observed.ssid.clone(),
@@ -58,7 +53,10 @@ mod tests {
         assert_eq!(cfg.ssid, "CORP");
         assert_eq!(cfg.bssid, MacAddr::local(1), "BSSID cloned");
         assert_eq!(cfg.channel, 6, "rogue picks its own channel");
-        assert_eq!(cfg.wep.as_ref().map(|k| k.bytes().to_vec()), Some(key.bytes().to_vec()));
+        assert_eq!(
+            cfg.wep.as_ref().map(|k| k.bytes().to_vec()),
+            Some(key.bytes().to_vec())
+        );
         assert!(cfg.acl.is_none());
         assert_eq!(cfg.beacon_interval, SimDuration::from_micros(102_400));
     }

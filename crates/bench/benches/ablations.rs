@@ -77,8 +77,14 @@ fn power_ablation() -> String {
 }
 
 fn bench(c: &mut Criterion) {
-    println!("\n== Ablation: rogue channel choice ==\n{}", channel_ablation());
-    println!("== Ablation: rogue power (6 dB shadowing) ==\n{}", power_ablation());
+    println!(
+        "\n== Ablation: rogue channel choice ==\n{}",
+        channel_ablation()
+    );
+    println!(
+        "== Ablation: rogue power (6 dB shadowing) ==\n{}",
+        power_ablation()
+    );
 
     // Benchmark the co-channel worst case vs the paper's choice, to pin
     // the cost of collision churn in the medium.

@@ -1,0 +1,33 @@
+//! E10 bench — the streaming WIDS: times one full pipeline replication
+//! (sensors → detectors → correlation → scoring) and prints the score
+//! card once.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rogue_core::experiments::e10_wids::{run_wids_once, WidsScenario};
+use rogue_sim::Seed;
+
+fn bench(c: &mut Criterion) {
+    println!(
+        "\nE10: streaming WIDS score card\n{}\n",
+        rogue_bench::report_e10(2).body
+    );
+    let mut g = c.benchmark_group("e10_wids");
+    g.sample_size(10);
+    let mut seed = 0u64;
+    g.bench_function("rogue_ap_deauth_replication", |b| {
+        b.iter(|| {
+            seed += 1;
+            run_wids_once(WidsScenario::RogueApDeauth, Seed(seed))
+        })
+    });
+    g.bench_function("clean_replication", |b| {
+        b.iter(|| {
+            seed += 1;
+            run_wids_once(WidsScenario::Clean, Seed(seed))
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -7,7 +7,10 @@ use rogue_core::scenario::CorpScenarioCfg;
 use rogue_sim::{Seed, SimTime};
 
 fn bench(c: &mut Criterion) {
-    println!("\nE1: Figure 1 — rogue-AP association capture\n{}\n", rogue_bench::report_e1(4).body);
+    println!(
+        "\nE1: Figure 1 — rogue-AP association capture\n{}\n",
+        rogue_bench::report_e1(4).body
+    );
     let cfg = CorpScenarioCfg::paper_attack();
     let mut g = c.benchmark_group("e1_association");
     g.sample_size(10);

@@ -6,7 +6,10 @@ use rogue_core::experiments::e2_download::{run_download_mitm, DownloadMitmConfig
 use rogue_sim::Seed;
 
 fn bench(c: &mut Criterion) {
-    println!("\nE2: Figure 2 / §4.1 — software-download MITM\n{}\n", rogue_bench::report_e2(4).body);
+    println!(
+        "\nE2: Figure 2 / §4.1 — software-download MITM\n{}\n",
+        rogue_bench::report_e2(4).body
+    );
     let cfg = DownloadMitmConfig::paper();
     let mut g = c.benchmark_group("e2_download_mitm");
     g.sample_size(10);

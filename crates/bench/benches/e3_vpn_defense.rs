@@ -6,7 +6,10 @@ use rogue_core::experiments::e3_vpn::{run_vpn_defense, VpnMode};
 use rogue_sim::Seed;
 
 fn bench(c: &mut Criterion) {
-    println!("\nE3: Figure 3 / §5 — VPN-everything defence\n{}\n", rogue_bench::report_e3(3).body);
+    println!(
+        "\nE3: Figure 3 / §5 — VPN-everything defence\n{}\n",
+        rogue_bench::report_e3(3).body
+    );
     let mut g = c.benchmark_group("e3_vpn_defense");
     g.sample_size(10);
     let mut seed = 0u64;

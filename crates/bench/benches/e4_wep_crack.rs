@@ -6,7 +6,10 @@ use rogue_core::experiments::e4_wep::{crack_once, random_key};
 use rogue_sim::{Seed, SimRng};
 
 fn bench(c: &mut Criterion) {
-    println!("\nE4: §4 premise — Airsnort/FMS WEP key recovery\n{}\n", rogue_bench::report_e4(8).body);
+    println!(
+        "\nE4: §4 premise — Airsnort/FMS WEP key recovery\n{}\n",
+        rogue_bench::report_e4(8).body
+    );
     let mut g = c.benchmark_group("e4_wep_crack");
     g.sample_size(10);
     for key_len in [5usize, 13] {

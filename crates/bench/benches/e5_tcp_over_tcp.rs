@@ -6,7 +6,10 @@ use rogue_core::experiments::e5_tcp_over_tcp::{tunnel_comparison, InnerFlow};
 use rogue_sim::Seed;
 
 fn bench(c: &mut Criterion) {
-    println!("\nE5: §5.3 — TCP-over-TCP penalty\n{}\n", rogue_bench::report_e5(2).body);
+    println!(
+        "\nE5: §5.3 — TCP-over-TCP penalty\n{}\n",
+        rogue_bench::report_e5(2).body
+    );
     let mut g = c.benchmark_group("e5_tcp_over_tcp");
     g.sample_size(10);
     let mut seed = 0u64;

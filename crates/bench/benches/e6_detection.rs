@@ -6,7 +6,10 @@ use rogue_core::experiments::e6_detection::run_detection_once;
 use rogue_sim::{Seed, SimDuration, SimTime};
 
 fn bench(c: &mut Criterion) {
-    println!("\nE6: §2.3 — rogue-AP detection\n{}\n", rogue_bench::report_e6(2).body);
+    println!(
+        "\nE6: §2.3 — rogue-AP detection\n{}\n",
+        rogue_bench::report_e6(2).body
+    );
     let mut g = c.benchmark_group("e6_detection");
     g.sample_size(10);
     let mut seed = 0u64;

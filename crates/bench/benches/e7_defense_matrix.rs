@@ -11,18 +11,24 @@ fn bench(c: &mut Criterion) {
     println!("\nE7: defence matrix\n{}\n", rogue_bench::report_e7(2).body);
     let mut g = c.benchmark_group("e7_defense_matrix");
     g.sample_size(10);
-    for policy in [ClientPolicy::WepMacFilter, ClientPolicy::VpnAll(rogue_vpn::Transport::Udp)] {
+    for policy in [
+        ClientPolicy::WepMacFilter,
+        ClientPolicy::VpnAll(rogue_vpn::Transport::Udp),
+    ] {
         let cfg = DownloadMitmConfig {
             scenario: scenario_for(policy),
             ..DownloadMitmConfig::paper()
         };
         let mut seed = 0u64;
-        g.bench_function(format!("matrix_cell_{}", policy.label().replace(' ', "_")), |b| {
-            b.iter(|| {
-                seed += 1;
-                run_download_mitm(&cfg, Seed(seed))
-            })
-        });
+        g.bench_function(
+            format!("matrix_cell_{}", policy.label().replace(' ', "_")),
+            |b| {
+                b.iter(|| {
+                    seed += 1;
+                    run_download_mitm(&cfg, Seed(seed))
+                })
+            },
+        );
     }
     g.finish();
 }

@@ -7,7 +7,10 @@ use rogue_core::scenario::HotspotScenarioCfg;
 use rogue_sim::Seed;
 
 fn bench(c: &mut Criterion) {
-    println!("\nE8: hostile hotspot (§1.2.2 / §5.1)\n{}\n", rogue_bench::report_e8(3).body);
+    println!(
+        "\nE8: hostile hotspot (§1.2.2 / §5.1)\n{}\n",
+        rogue_bench::report_e8(3).body
+    );
     let cfg = HotspotScenarioCfg::cnn_scenario();
     let mut g = c.benchmark_group("e8_hotspot");
     g.sample_size(10);

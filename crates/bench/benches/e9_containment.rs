@@ -6,7 +6,10 @@ use rogue_core::experiments::e9_containment::run_containment_once;
 use rogue_sim::{Seed, SimDuration};
 
 fn bench(c: &mut Criterion) {
-    println!("\nE9: detect-then-contain (future work)\n{}\n", rogue_bench::report_e9(2).body);
+    println!(
+        "\nE9: detect-then-contain (future work)\n{}\n",
+        rogue_bench::report_e9(2).body
+    );
     let mut g = c.benchmark_group("e9_containment");
     g.sample_size(10);
     let mut seed = 0u64;

@@ -59,7 +59,9 @@ fn tcp_codec(c: &mut Criterion) {
     let mut g = c.benchmark_group("tcp_codec_1400B");
     g.throughput(Throughput::Bytes(1400));
     g.bench_function("encode", |b| b.iter(|| seg.encode(src, dst)));
-    g.bench_function("decode", |b| b.iter(|| TcpSegment::decode(src, dst, &wire).unwrap()));
+    g.bench_function("decode", |b| {
+        b.iter(|| TcpSegment::decode(src, dst, &wire).unwrap())
+    });
     g.finish();
 }
 

@@ -4,7 +4,7 @@
 //! cargo run --release -p rogue-bench --bin harness [reps]
 //! ```
 //!
-//! Prints the E1–E7 tables recorded in EXPERIMENTS.md. `reps` (default 5)
+//! Prints the E1–E10 tables recorded in EXPERIMENTS.md. `reps` (default 5)
 //! controls Monte-Carlo replications per cell.
 
 fn main() {

@@ -115,8 +115,7 @@ pub fn capture_vs_power(powers_dbm: &[f64], reps: usize, seed: Seed) -> Vec<Capt
                     )
                 })
                 .collect();
-            let captured: Vec<&CaptureOutcome> =
-                outcomes.iter().filter(|o| o.captured).collect();
+            let captured: Vec<&CaptureOutcome> = outcomes.iter().filter(|o| o.captured).collect();
             CapturePoint {
                 rogue_power_dbm: p,
                 reps: outcomes.len(),
@@ -175,8 +174,7 @@ pub fn capture_with_deauth(reps: usize, seed: Seed) -> Vec<DeauthPoint> {
                     )
                 })
                 .collect();
-            let captured: Vec<&CaptureOutcome> =
-                outcomes.iter().filter(|o| o.captured).collect();
+            let captured: Vec<&CaptureOutcome> = outcomes.iter().filter(|o| o.captured).collect();
             DeauthPoint {
                 deauth,
                 reps: outcomes.len(),

@@ -107,8 +107,7 @@ pub fn run_download_mitm(cfg: &DownloadMitmConfig, seed: Seed) -> DownloadMitmRe
         Some(gw) => sc.world.app::<Netsed>(gw.node, gw.netsed_app).replacements,
         None => 0,
     };
-    let victim_associated =
-        sc.world.sta_state(sc.victim, sc.victim_radio) == StaState::Associated;
+    let victim_associated = sc.world.sta_state(sc.victim, sc.victim_radio) == StaState::Associated;
 
     match outcome {
         Some(o) => {

@@ -103,8 +103,7 @@ pub fn vpn_defense_comparison(reps: usize, seed: Seed) -> Vec<VpnDefenseRow> {
                 mean_download_secs: if completed.is_empty() {
                     f64::NAN
                 } else {
-                    completed.iter().map(|r| r.download_secs).sum::<f64>()
-                        / completed.len() as f64
+                    completed.iter().map(|r| r.download_secs).sum::<f64>() / completed.len() as f64
                 },
                 mean_netsed_hits: results
                     .iter()

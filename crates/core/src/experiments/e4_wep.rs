@@ -49,10 +49,7 @@ pub fn oracle_sample(key: &WepKey, iv: [u8; 3]) -> Sample {
     k.extend_from_slice(&iv);
     k.extend_from_slice(key.bytes());
     let ks0 = Rc4::new(&k).next_byte();
-    Sample {
-        iv,
-        ks0,
-    }
+    Sample { iv, ks0 }
 }
 
 /// Attempt a crack with `weak_per_position` weak IVs per byte position.
@@ -113,7 +110,10 @@ mod tests {
     fn starved_attack_fails() {
         let mut rng = SimRng::new(Seed(42));
         let key = random_key(&mut rng, 5);
-        assert!(!crack_once(&key, 2), "2 weak IVs per byte cannot vote reliably");
+        assert!(
+            !crack_once(&key, 2),
+            "2 weak IVs per byte cannot vote reliably"
+        );
     }
 
     #[test]

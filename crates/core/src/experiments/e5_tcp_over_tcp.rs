@@ -178,7 +178,10 @@ fn run_once(transport: Transport, flow: InnerFlow, loss: f64, seed: Seed) -> Run
         }
         InnerFlow::TcpBulk => {
             let portal = download_portal(make_binary(&mut rng, 64 * 1024));
-            world.add_app(server, Box::new(HttpServerApp::new(80, portal.site.clone())));
+            world.add_app(
+                server,
+                Box::new(HttpServerApp::new(80, portal.site.clone())),
+            );
             let start = SimTime::from_secs(1);
             let dl = world.add_app(
                 client,
@@ -281,9 +284,16 @@ mod tests {
         let tcp = run_once(Transport::Tcp, InnerFlow::UdpCbr, 0.08, Seed(52));
         // UDP encap: inner datagrams share the raw loss (two lossy
         // crossings: record out, nothing back — one crossing each way).
-        assert!(udp.udp_delivery < 0.99, "udp encap delivery {}", udp.udp_delivery);
+        assert!(
+            udp.udp_delivery < 0.99,
+            "udp encap delivery {}",
+            udp.udp_delivery
+        );
         // TCP encap: "unnecessary retransmission" delivers nearly all…
-        assert!(tcp.udp_delivery > udp.udp_delivery, "udp {udp:?} tcp {tcp:?}");
+        assert!(
+            tcp.udp_delivery > udp.udp_delivery,
+            "udp {udp:?} tcp {tcp:?}"
+        );
         // …at a latency cost.
         assert!(
             tcp.udp_max_ms > udp.udp_max_ms,

@@ -18,12 +18,30 @@
 
 use rayon::prelude::*;
 use rogue_detect::audit::SiteAuditor;
-use rogue_detect::seqmon::{SeqMonConfig, SeqMonitor};
 use rogue_detect::AlarmKind;
+use rogue_dot11::monitor::Sniffer;
+use rogue_dot11::MacAddr;
 use rogue_phy::Pos;
 use rogue_sim::{Seed, SimDuration, SimTime};
+use rogue_wids::{Detector, RadioSensor, RawAlert, SensorId, SensorRing, SeqControlDetector};
 
 use crate::scenario::{build_corp, corp_bssid, CorpScenarioCfg, RogueCfg};
+
+/// Run the streaming sequence-control detector over a finished capture
+/// buffer, returning alerts against `subject` (the E6 usage of the WIDS
+/// [`Detector`] interface: one sensor, one detector, post-hoc).
+fn seq_alerts_for(sniffer: &Sniffer, subject: MacAddr) -> Vec<RawAlert> {
+    let mut ring = SensorRing::new(sniffer.captures.len().max(1));
+    let mut sensor = RadioSensor::new(SensorId(0));
+    sensor.drain(sniffer, &mut ring);
+    let mut det = SeqControlDetector::default();
+    let mut alerts = Vec::new();
+    for ev in ring.drain() {
+        det.on_event(&ev, &mut alerts);
+    }
+    alerts.retain(|a| a.subject == subject);
+    alerts
+}
 
 /// One replication's detection outcome.
 #[derive(Clone, Debug)]
@@ -44,11 +62,7 @@ pub struct DetectionOutcome {
 /// Run one detection replication: the defender's monitor hops across
 /// `channels`, dwelling `dwell` on each, while the rogue (and deauth
 /// flood) come up mid-run.
-pub fn run_detection_once(
-    dwell: SimDuration,
-    run_time: SimTime,
-    seed: Seed,
-) -> DetectionOutcome {
+pub fn run_detection_once(dwell: SimDuration, run_time: SimTime, seed: Seed) -> DetectionOutcome {
     let rogue_start = SimTime::from_secs(2);
     let mut cfg = CorpScenarioCfg::paper_attack();
     cfg.wired_monitor = true;
@@ -87,10 +101,7 @@ pub fn run_detection_once(
         .map(|a| a.at)
         .min();
 
-    let mut seqmon = SeqMonitor::new(SeqMonConfig::default());
-    seqmon.feed_sniffer(sniffer, corp_bssid());
-    let seq_alarm = seqmon
-        .alarms
+    let seq_alarm = seq_alerts_for(sniffer, corp_bssid())
         .iter()
         .filter(|a| a.at >= rogue_start)
         .map(|a| a.at)
@@ -224,8 +235,9 @@ mod tests {
         auditor.authorize(corp_bssid(), 1);
         auditor.audit(sniffer);
         assert!(auditor.alarms.is_empty(), "{:?}", auditor.alarms);
-        let mut seqmon = SeqMonitor::new(SeqMonConfig::default());
-        seqmon.feed_sniffer(sniffer, corp_bssid());
-        assert!(seqmon.alarms.is_empty(), "{:?}", seqmon.alarms);
+        assert!(
+            seq_alerts_for(sniffer, corp_bssid()).is_empty(),
+            "healthy AP must not trip the sequence detector"
+        );
     }
 }

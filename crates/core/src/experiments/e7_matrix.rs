@@ -64,7 +64,10 @@ pub fn defense_matrix(reps: usize, seed: Seed) -> Vec<MatrixRow> {
                         scenario: scenario_for(policy),
                         ..DownloadMitmConfig::paper()
                     };
-                    run_download_mitm(&cfg, seed.fork(policy.label().len() as u64 * 7919 + rep as u64))
+                    run_download_mitm(
+                        &cfg,
+                        seed.fork(policy.label().len() as u64 * 7919 + rep as u64),
+                    )
                 })
                 .collect();
             let n = results.len().max(1) as f64;

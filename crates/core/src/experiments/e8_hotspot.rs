@@ -57,8 +57,7 @@ pub fn run_hotspot_once(cfg: &HotspotScenarioCfg, browse_secs: u64, seed: Seed) 
             SimDuration::from_millis(500),
         )),
     );
-    sc.world
-        .run_until(SimTime::from_secs(2 + browse_secs));
+    sc.world.run_until(SimTime::from_secs(2 + browse_secs));
 
     let b = sc.world.app::<BrowserApp>(sc.victim, browser);
     let injections = sc
@@ -131,7 +130,9 @@ pub fn hotspot_comparison(reps: usize, seed: Seed) -> Vec<HotspotRow> {
         .map(|(label, cfg)| {
             let outcomes: Vec<HotspotOutcome> = (0..reps)
                 .into_par_iter()
-                .map(|rep| run_hotspot_once(&cfg, 8, seed.fork(label.len() as u64 * 131 + rep as u64)))
+                .map(|rep| {
+                    run_hotspot_once(&cfg, 8, seed.fork(label.len() as u64 * 131 + rep as u64))
+                })
                 .collect();
             let n = outcomes.len().max(1) as f64;
             let tamper_rate = outcomes

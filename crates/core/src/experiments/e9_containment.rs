@@ -7,25 +7,26 @@
 //! rogue's clients off it by flooding forged deauthentication on the
 //! rogue's channel — the attacker's own §4 primitive, turned around.
 //!
-//! The experiment closes the loop inside one run: a defender sweeps,
-//! detects the duplicate BSSID, then activates a containment injector on
-//! the rogue's channel. Measured: whether the victim's download-MITM
-//! still succeeds, against detection latency and containment cadence.
+//! The experiment closes the loop inside one run: a defender sweeps
+//! while the rogue-wids pipeline watches the captures live; the first
+//! RogueAp *incident* against the corporate BSSID activates a
+//! containment injector on the rogue's channel. Measured: whether the
+//! victim's download-MITM still succeeds, against detection latency and
+//! containment cadence.
 
 use rayon::prelude::*;
 use rogue_attack::DeauthFlooder;
-use rogue_detect::audit::SiteAuditor;
-use rogue_detect::AlarmKind;
 use rogue_phy::Pos;
 use rogue_services::apps::DownloadClient;
 use rogue_sim::{Seed, SimDuration, SimTime};
+use rogue_wids::{IncidentCategory, RadioSensor, WidsConfig, WidsPipeline};
 
 use crate::scenario::{addrs, build_corp, corp_bssid, CorpScenarioCfg};
 
 /// One replication's outcome.
 #[derive(Clone, Debug)]
 pub struct ContainmentOutcome {
-    /// When the defender's audit flagged the duplicate BSSID.
+    /// When the WIDS opened a RogueAp incident against the corp BSSID.
     pub detected_at: Option<SimTime>,
     /// When containment went active.
     pub contained_at: Option<SimTime>,
@@ -53,9 +54,15 @@ pub fn run_containment_once(
             SimDuration::from_secs(25),
         )),
     );
-    // The defender: monitor + (later) containment injector.
+    // The defender: monitor + WIDS pipeline + (later) containment
+    // injector.
     let defender = sc.world.add_node("defender");
     let mon = sc.world.add_monitor(defender, Pos::new(20.0, 10.0), 1);
+    let mut pipe = WidsPipeline::new(WidsConfig {
+        authorized_aps: vec![(corp_bssid(), 1)],
+        ..WidsConfig::default()
+    });
+    let mut sensor = RadioSensor::new(pipe.new_sensor_id());
 
     let channels: Vec<u8> = (1..=11).collect();
     let rogue_channel = cfg.rogue.as_ref().map(|r| r.channel).unwrap_or(6);
@@ -72,15 +79,14 @@ pub fn run_containment_once(
         now = now.saturating_add(sweep_dwell).min(run_time);
         sc.world.run_until(now);
 
+        sensor.drain(sc.world.sniffer(defender, mon), &mut pipe.ring);
+        pipe.step(now);
         if detected_at.is_none() {
-            let mut auditor = SiteAuditor::new();
-            auditor.authorize(corp_bssid(), 1);
-            auditor.audit(sc.world.sniffer(defender, mon));
-            if auditor
-                .alarms
+            let rogue_flagged = pipe
+                .incidents()
                 .iter()
-                .any(|a| a.kind == AlarmKind::DuplicateBssid)
-            {
+                .any(|i| i.category == IncidentCategory::RogueAp && i.subject == corp_bssid());
+            if rogue_flagged {
                 detected_at = Some(now);
                 if containment {
                     // Containment: broadcast deauth under the rogue's
@@ -96,8 +102,13 @@ pub fn run_containment_once(
                         SimDuration::from_millis(15),
                         run_time,
                     );
-                    sc.world
-                        .add_injector(defender, Pos::new(20.0, 10.0), 18.0, rogue_channel, flooder);
+                    sc.world.add_injector(
+                        defender,
+                        Pos::new(20.0, 10.0),
+                        18.0,
+                        rogue_channel,
+                        flooder,
+                    );
                     contained_at = Some(now);
                 }
             }
@@ -111,11 +122,7 @@ pub fn run_containment_once(
         .clone();
     let attack_succeeded = outcome
         .as_ref()
-        .map(|o| {
-            o.error.is_none()
-                && o.verified
-                && o.file_bytes.as_deref() == Some(&sc.trojan[..])
-        })
+        .map(|o| o.error.is_none() && o.verified && o.file_bytes.as_deref() == Some(&sc.trojan[..]))
         .unwrap_or(false);
     let victim_kicks = sc
         .world
@@ -172,14 +179,11 @@ pub fn containment_comparison(reps: usize, seed: Seed) -> Vec<ContainmentRow> {
             ContainmentRow {
                 containment,
                 reps: outcomes.len(),
-                detection_rate: outcomes.iter().filter(|o| o.detected_at.is_some()).count()
-                    as f64
+                detection_rate: outcomes.iter().filter(|o| o.detected_at.is_some()).count() as f64
                     / n,
-                attack_success_rate: outcomes.iter().filter(|o| o.attack_succeeded).count()
-                    as f64
+                attack_success_rate: outcomes.iter().filter(|o| o.attack_succeeded).count() as f64
                     / n,
-                mean_victim_kicks: outcomes.iter().map(|o| o.victim_kicks as f64).sum::<f64>()
-                    / n,
+                mean_victim_kicks: outcomes.iter().map(|o| o.victim_kicks as f64).sum::<f64>() / n,
             }
         })
         .collect()

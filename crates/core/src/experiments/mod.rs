@@ -11,6 +11,7 @@
 //! | [`e7_matrix`] | §§1–3 — the defence matrix |
 //! | [`e8_hotspot`] | extension: §1.2.2 / §5.1 — the hostile hotspot |
 //! | [`e9_containment`] | extension: §6 future work — active rogue containment |
+//! | [`e10_wids`] | extension: streaming WIDS precision / recall harness |
 
 pub mod e1_association;
 pub mod e2_download;
@@ -21,3 +22,5 @@ pub mod e6_detection;
 pub mod e7_matrix;
 pub mod e8_hotspot;
 pub mod e9_containment;
+
+pub mod e10_wids;

@@ -72,6 +72,31 @@ impl Table {
         }
         out
     }
+
+    /// Render as a GitHub-flavored Markdown table (pipes escaped).
+    pub fn to_markdown(&self) -> String {
+        let escape = |s: &str| s.replace('|', "\\|");
+        let mut out = String::new();
+        let emit = |out: &mut String, cells: &[String]| {
+            out.push('|');
+            for cell in cells {
+                out.push(' ');
+                out.push_str(&escape(cell));
+                out.push_str(" |");
+            }
+            out.push('\n');
+        };
+        emit(&mut out, &self.header);
+        out.push('|');
+        for _ in &self.header {
+            out.push_str("---|");
+        }
+        out.push('\n');
+        for row in &self.rows {
+            emit(&mut out, row);
+        }
+        out
+    }
 }
 
 /// Format a fraction as a percentage with one decimal.
@@ -81,7 +106,11 @@ pub fn pct(x: f64) -> String {
 
 /// Format a boolean as the table-friendly YES/no.
 pub fn yn(b: bool) -> String {
-    if b { "YES".into() } else { "no".into() }
+    if b {
+        "YES".into()
+    } else {
+        "no".into()
+    }
 }
 
 #[cfg(test)]
@@ -107,6 +136,25 @@ mod tests {
     fn arity_checked() {
         let mut t = Table::new(&["a", "b"]);
         t.row(&["only-one".into()]);
+    }
+
+    #[test]
+    fn markdown_shape() {
+        let mut t = Table::new(&["scenario", "precision"]);
+        t.row(&["rogue-ap".into(), "100.0%".into()]);
+        let md = t.to_markdown();
+        let lines: Vec<&str> = md.lines().collect();
+        assert_eq!(lines.len(), 3);
+        assert_eq!(lines[0], "| scenario | precision |");
+        assert_eq!(lines[1], "|---|---|");
+        assert_eq!(lines[2], "| rogue-ap | 100.0% |");
+    }
+
+    #[test]
+    fn markdown_escapes_pipes() {
+        let mut t = Table::new(&["k"]);
+        t.row(&["a|b".into()]);
+        assert!(t.to_markdown().contains("a\\|b"));
     }
 
     #[test]

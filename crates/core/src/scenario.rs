@@ -16,6 +16,7 @@
 //!     MITM gateway ))))  valid AP      ← second NIC, associated as a client
 //! ```
 
+use bytes::Bytes;
 use rogue_attack::{clone_ap, MitmGatewayConfig};
 use rogue_crypto::wep::WepKey;
 use rogue_detect::wired::WiredMonitor;
@@ -30,7 +31,6 @@ use rogue_sim::{Seed, SimDuration, SimRng, SimTime};
 use rogue_vpn::client::VpnClientConfig;
 use rogue_vpn::server::{ClientAccount, VpnServerConfig};
 use rogue_vpn::{Transport, VpnClient, VpnServer, PSK_LEN};
-use bytes::Bytes;
 
 use crate::world::{NodeId, SwitchId, World};
 
@@ -241,18 +241,35 @@ pub fn build_corp(cfg: &CorpScenarioCfg, seed: Seed) -> CorpScenario {
         ap_cfg.acl = Some([victim_mac(), employee_mac()].into_iter().collect());
     }
     let valid_ap = world.add_node("valid-ap");
-    let valid_ap_radio =
-        world.add_ap_bridge(valid_ap, Pos::new(0.0, 0.0), 15.0, ap_cfg, Some(corp_switch));
+    let valid_ap_radio = world.add_ap_bridge(
+        valid_ap,
+        Pos::new(0.0, 0.0),
+        15.0,
+        ap_cfg,
+        Some(corp_switch),
+    );
 
     // --- corporate router -------------------------------------------
     let router = world.add_node("corp-router");
     world.add_wired_iface(router, corp_switch, MacAddr::local(254), addrs::CORP_GW, 24);
-    world.add_wired_iface(router, inet_switch, MacAddr::local(253), addrs::ROUTER_WAN, 8);
+    world.add_wired_iface(
+        router,
+        inet_switch,
+        MacAddr::local(253),
+        addrs::ROUTER_WAN,
+        8,
+    );
     world.host_mut(router).ip_forward = true;
 
     // --- internet servers --------------------------------------------
     let target_node = world.add_node("target-www");
-    world.add_wired_iface(target_node, inet_switch, MacAddr::local(99), addrs::TARGET, 8);
+    world.add_wired_iface(
+        target_node,
+        inet_switch,
+        MacAddr::local(99),
+        addrs::TARGET,
+        8,
+    );
     world
         .host_mut(target_node)
         .routes
@@ -382,14 +399,8 @@ pub fn build_corp(cfg: &CorpScenarioCfg, seed: Seed) -> CorpScenario {
         };
         let mut uplink_cfg = StaConfig::typical(uplink_mac, "CORP", cfg.wep.clone());
         uplink_cfg.channels = vec![1]; // knows the real AP's channel
-        let (uplink_radio, uplink_iface) = world.add_sta(
-            gw,
-            rogue.pos,
-            15.0,
-            uplink_cfg,
-            addrs::GATEWAY_UPLINK,
-            24,
-        );
+        let (uplink_radio, uplink_iface) =
+            world.add_sta(gw, rogue.pos, 15.0, uplink_cfg, addrs::GATEWAY_UPLINK, 24);
 
         // Rogue AP NIC: Figure 1 — cloned SSID, BSSID and WEP key,
         // different channel.

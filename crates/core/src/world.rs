@@ -47,20 +47,48 @@ pub struct NodeId(pub usize);
 pub struct SwitchId(pub usize);
 
 enum Event {
-    TxComplete { tx: TxHandle },
-    NodePoll { node: usize },
-    WireDeliver { node: usize, iface: IfIndex, bytes: Bytes },
-    BridgeDeliver { node: usize, radio: usize, bytes: Bytes },
-    TapDeliver { node: usize, bytes: Bytes },
+    TxComplete {
+        tx: TxHandle,
+    },
+    NodePoll {
+        node: usize,
+    },
+    WireDeliver {
+        node: usize,
+        iface: IfIndex,
+        bytes: Bytes,
+    },
+    BridgeDeliver {
+        node: usize,
+        radio: usize,
+        bytes: Bytes,
+    },
+    TapDeliver {
+        node: usize,
+        bytes: Bytes,
+    },
 }
 
 /// A radio's MAC-layer role.
 enum RadioRole {
-    Sta { mac: StaMac, iface: IfIndex },
-    ApLocal { mac: ApMac, iface: IfIndex },
-    ApBridge { mac: ApMac, port: Option<(usize, usize)> },
-    Monitor { sniffer: Sniffer },
-    Injector { flooder: DeauthFlooder },
+    Sta {
+        mac: StaMac,
+        iface: IfIndex,
+    },
+    ApLocal {
+        mac: ApMac,
+        iface: IfIndex,
+    },
+    ApBridge {
+        mac: ApMac,
+        port: Option<(usize, usize)>,
+    },
+    Monitor {
+        sniffer: Sniffer,
+    },
+    Injector {
+        flooder: DeauthFlooder,
+    },
 }
 
 struct RadioBinding {
@@ -86,7 +114,17 @@ struct Node {
     tun: Option<TunBinding>,
     apps: Vec<Box<dyn App>>,
     wired_monitor: Option<WiredMonitor>,
+    wire_tap: Option<WireTap>,
     scheduled_poll: SimTime,
+}
+
+/// Raw frames copied off a switch by a passive span port, in arrival
+/// order — the wired-side analogue of [`Sniffer`], consumed by streaming
+/// analyzers (rogue-wids) that digest the buffer incrementally.
+#[derive(Default)]
+pub struct WireTap {
+    /// Captured (time, frame bytes) pairs.
+    pub frames: Vec<(SimTime, Bytes)>,
 }
 
 enum PortTarget {
@@ -188,6 +226,7 @@ impl World {
             tun: None,
             apps: Vec::new(),
             wired_monitor: None,
+            wire_tap: None,
             scheduled_poll: SimTime::FOREVER,
         });
         NodeId(self.nodes.len() - 1)
@@ -321,10 +360,9 @@ impl World {
     ) -> IfIndex {
         let iface = self.nodes[n.0].host.add_iface(mac, ip, prefix_len);
         let port = self.switches[switch.0].ports.len();
-        self.switches[switch.0].ports.push(PortTarget::HostIface {
-            node: n.0,
-            iface,
-        });
+        self.switches[switch.0]
+            .ports
+            .push(PortTarget::HostIface { node: n.0, iface });
         self.nodes[n.0].wired.push((iface, (switch.0, port)));
         iface
     }
@@ -390,6 +428,22 @@ impl World {
     /// Borrow the node's wired monitor.
     pub fn wired_monitor(&self, n: NodeId) -> Option<&WiredMonitor> {
         self.nodes[n.0].wired_monitor.as_ref()
+    }
+
+    /// Attach a raw wired tap (span port) that buffers every frame the
+    /// switch carries, for streaming consumers.
+    pub fn add_wire_tap(&mut self, n: NodeId, switch: SwitchId) {
+        if self.nodes[n.0].wire_tap.is_none() {
+            self.nodes[n.0].wire_tap = Some(WireTap::default());
+        }
+        self.switches[switch.0]
+            .ports
+            .push(PortTarget::Tap { node: n.0 });
+    }
+
+    /// Borrow the node's raw wired tap buffer.
+    pub fn wire_tap(&self, n: NodeId) -> Option<&WireTap> {
+        self.nodes[n.0].wire_tap.as_ref()
     }
 
     /// Add a tun device interface (before constructing the VPN app).
@@ -527,6 +581,9 @@ impl World {
                     if let Some(mon) = &mut self.nodes[node].wired_monitor {
                         mon.inspect(now, &bytes);
                     }
+                    if let Some(tap) = &mut self.nodes[node].wire_tap {
+                        tap.frames.push((now, bytes));
+                    }
                 }
             }
         }
@@ -606,9 +663,7 @@ impl World {
                             self.metrics.incr("mac.ap_client_rejected")
                         }
                         MacEvent::TxFailed { .. } => self.metrics.incr("mac.tx_failed"),
-                        MacEvent::WepDecryptFailed { .. } => {
-                            self.metrics.incr("mac.wep_failed")
-                        }
+                        MacEvent::WepDecryptFailed { .. } => self.metrics.incr("mac.wep_failed"),
                     }
                     self.mac_events.push((now, NodeId(node), e));
                 }
@@ -789,10 +844,13 @@ impl World {
             return;
         }
         // Wireless NIC?
-        let radio = self.nodes[node].radios.iter().position(|rb| match &rb.role {
-            RadioRole::Sta { iface, .. } | RadioRole::ApLocal { iface, .. } => *iface == ifx,
-            _ => false,
-        });
+        let radio = self.nodes[node]
+            .radios
+            .iter()
+            .position(|rb| match &rb.role {
+                RadioRole::Sta { iface, .. } | RadioRole::ApLocal { iface, .. } => *iface == ifx,
+                _ => false,
+            });
         if let Some(r) = radio {
             let Some(eth) = EthFrame::decode(&bytes) else {
                 return;
@@ -815,9 +873,7 @@ impl World {
         for rb in &n.radios {
             wake = wake.min(match &rb.role {
                 RadioRole::Sta { mac, .. } => mac.next_wake(),
-                RadioRole::ApLocal { mac, .. } | RadioRole::ApBridge { mac, .. } => {
-                    mac.next_wake()
-                }
+                RadioRole::ApLocal { mac, .. } | RadioRole::ApBridge { mac, .. } => mac.next_wake(),
                 RadioRole::Injector { flooder } => flooder.next_wake(),
                 RadioRole::Monitor { .. } => SimTime::FOREVER,
             });
@@ -925,9 +981,7 @@ mod tests {
         w.run_until(SimTime::from_secs(2));
         assert_eq!(w.sta_state(sta_node, sta_radio), StaState::Associated);
         assert!(w.ap(ap, ap_radio).is_associated(MacAddr::local(9)));
-        assert!(w
-            .count_mac_events(|e| matches!(e, MacEvent::Associated { .. }))
-            >= 1);
+        assert!(w.count_mac_events(|e| matches!(e, MacEvent::Associated { .. })) >= 1);
     }
 
     #[test]
@@ -939,9 +993,14 @@ mod tests {
         let b = w.add_node("b");
         w.add_wired_iface(b, sw, MacAddr::local(2), Ipv4Addr::new(10, 0, 0, 2), 24);
         let m = w.add_node("monitor");
-        w.add_wired_monitor(m, sw, rogue_detect::wired::WiredMonitor::new([MacAddr::local(1)]));
+        w.add_wired_monitor(
+            m,
+            sw,
+            rogue_detect::wired::WiredMonitor::new([MacAddr::local(1)]),
+        );
         // a pings b: ARP + echo both cross the switch.
-        w.host_mut(a).ping(SimTime::ZERO, Ipv4Addr::new(10, 0, 0, 2), 1);
+        w.host_mut(a)
+            .ping(SimTime::ZERO, Ipv4Addr::new(10, 0, 0, 2), 1);
         w.kick(a);
         w.run_until(SimTime::from_millis(100));
         let mon = w.wired_monitor(m).expect("attached");
@@ -962,7 +1021,8 @@ mod tests {
         let c = w.add_node("c");
         w.add_wired_iface(c, sw, MacAddr::local(3), Ipv4Addr::new(10, 0, 0, 3), 24);
         // Warm up: a <-> b unicast exchange teaches the switch.
-        w.host_mut(a).ping(SimTime::ZERO, Ipv4Addr::new(10, 0, 0, 2), 1);
+        w.host_mut(a)
+            .ping(SimTime::ZERO, Ipv4Addr::new(10, 0, 0, 2), 1);
         w.kick(a);
         w.run_until(SimTime::from_millis(50));
         let before = w.host(c).delivered;
@@ -987,7 +1047,14 @@ mod tests {
         w.add_ap_bridge(ap, Pos::new(0.0, 0.0), 15.0, corp_ap_cfg(), None);
         let sta = w.add_node("sta");
         let cfg = StaConfig::typical(MacAddr::local(9), "NET", None);
-        w.add_sta(sta, Pos::new(5.0, 0.0), 15.0, cfg, Ipv4Addr::new(10, 0, 0, 9), 24);
+        w.add_sta(
+            sta,
+            Pos::new(5.0, 0.0),
+            15.0,
+            cfg,
+            Ipv4Addr::new(10, 0, 0, 9),
+            24,
+        );
         w.run_until(SimTime::from_secs(2));
         assert!(w.metrics.counter("mac.associated") >= 1);
         assert!(w.metrics.counter("mac.ap_client_joined") >= 1);

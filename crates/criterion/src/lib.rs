@@ -1,0 +1,205 @@
+//! Vendored stand-in for the `criterion` benchmark harness.
+//!
+//! The sandbox has no registry access, so this crate reimplements the
+//! slice of criterion's API the benches use: `criterion_group!` /
+//! `criterion_main!`, [`Criterion::bench_function`], benchmark groups
+//! with [`BenchmarkGroup::throughput`] and [`BenchmarkGroup::sample_size`],
+//! and [`Bencher::iter`]. Timing is plain wall-clock sampling — no
+//! statistics beyond mean/min/max — which is enough to compare hot paths
+//! between commits in this repository.
+
+use std::hint::black_box as std_black_box;
+use std::time::Instant;
+
+/// Re-export of `std::hint::black_box` under criterion's name.
+pub fn black_box<T>(x: T) -> T {
+    std_black_box(x)
+}
+
+/// Throughput annotation attached to a benchmark group.
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    /// Bytes processed per iteration.
+    Bytes(u64),
+    /// Elements processed per iteration.
+    Elements(u64),
+}
+
+/// Passed to the measured closure; call [`Bencher::iter`] with the body.
+pub struct Bencher {
+    samples: u64,
+    elapsed_ns: Vec<u64>,
+}
+
+impl Bencher {
+    /// Time `body`, once per sample, after a short warm-up.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut body: F) {
+        for _ in 0..2 {
+            std_black_box(body());
+        }
+        self.elapsed_ns.clear();
+        for _ in 0..self.samples {
+            let t0 = Instant::now();
+            std_black_box(body());
+            self.elapsed_ns.push(t0.elapsed().as_nanos() as u64);
+        }
+    }
+}
+
+/// The harness: owns defaults and prints one line per benchmark.
+pub struct Criterion {
+    sample_size: u64,
+}
+
+impl Default for Criterion {
+    fn default() -> Criterion {
+        Criterion { sample_size: 10 }
+    }
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.3} s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.3} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.3} µs", ns / 1e3)
+    } else {
+        format!("{ns:.0} ns")
+    }
+}
+
+fn run_one(
+    id: &str,
+    samples: u64,
+    throughput: Option<Throughput>,
+    f: &mut dyn FnMut(&mut Bencher),
+) {
+    let mut b = Bencher {
+        samples,
+        elapsed_ns: Vec::new(),
+    };
+    f(&mut b);
+    if b.elapsed_ns.is_empty() {
+        println!("{id:<40} (no samples)");
+        return;
+    }
+    let n = b.elapsed_ns.len() as f64;
+    let mean = b.elapsed_ns.iter().sum::<u64>() as f64 / n;
+    let min = *b.elapsed_ns.iter().min().expect("nonempty") as f64;
+    let rate = match throughput {
+        Some(Throughput::Bytes(bytes)) if mean > 0.0 => {
+            format!(
+                "  {:>10.1} MiB/s",
+                bytes as f64 / (mean / 1e9) / (1024.0 * 1024.0)
+            )
+        }
+        Some(Throughput::Elements(elems)) if mean > 0.0 => {
+            format!("  {:>10.0} elem/s", elems as f64 / (mean / 1e9))
+        }
+        _ => String::new(),
+    };
+    println!(
+        "{id:<40} mean {:>12}  min {:>12}{rate}",
+        fmt_ns(mean),
+        fmt_ns(min)
+    );
+}
+
+impl Criterion {
+    /// Run a single named benchmark. Accepts `&str` or `String` ids, as
+    /// upstream criterion does via `IntoBenchmarkId`.
+    pub fn bench_function<S: AsRef<str>, F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: S,
+        mut f: F,
+    ) -> &mut Self {
+        run_one(id.as_ref(), self.sample_size, None, &mut f);
+        self
+    }
+
+    /// Open a named benchmark group.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.to_string(),
+            sample_size: self.sample_size,
+            throughput: None,
+            _parent: self,
+        }
+    }
+}
+
+/// A group of related benchmarks sharing throughput/sample settings.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: u64,
+    throughput: Option<Throughput>,
+    _parent: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Set samples per benchmark in this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1) as u64;
+        self
+    }
+
+    /// Annotate per-iteration throughput.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Run one benchmark within the group. Accepts `&str` or `String`
+    /// ids, as upstream criterion does via `IntoBenchmarkId`.
+    pub fn bench_function<S: AsRef<str>, F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: S,
+        mut f: F,
+    ) -> &mut Self {
+        let full = format!("{}/{}", self.name, id.as_ref());
+        run_one(&full, self.sample_size, self.throughput, &mut f);
+        self
+    }
+
+    /// Finish the group (marker only; statistics print as benches run).
+    pub fn finish(self) {}
+}
+
+/// Declare a group function running each target against one [`Criterion`].
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c = $crate::Criterion::default();
+            $( $target(&mut c); )+
+        }
+    };
+}
+
+/// Declare `main` running each group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            // `cargo bench` passes harness flags (e.g. --bench); ignore them.
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_collects_samples() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("g");
+        g.sample_size(3).throughput(Throughput::Bytes(1));
+        let mut ran = 0u32;
+        g.bench_function("count", |b| b.iter(|| ran += 1));
+        g.finish();
+        assert!(ran >= 3, "warmup + samples must run the body");
+    }
+}

@@ -436,7 +436,10 @@ mod tests {
 
     #[test]
     fn debug_renders_hex() {
-        assert_eq!(format!("{:?}", BigUint::from_u64(0xdead_beef)), "0xdeadbeef");
+        assert_eq!(
+            format!("{:?}", BigUint::from_u64(0xdead_beef)),
+            "0xdeadbeef"
+        );
         assert_eq!(format!("{:?}", BigUint::zero()), "0x0");
     }
 }

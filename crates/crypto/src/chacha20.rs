@@ -133,10 +133,7 @@ mod tests {
         let nonce: [u8; 12] = [0, 0, 0, 9, 0, 0, 0, 0x4a, 0, 0, 0, 0];
         let zeros = [0u8; 64];
         let ks = ChaCha20::process(&key, &nonce, 1, &zeros);
-        assert_eq!(
-            hex(&ks[..16]),
-            "10f1e7e4d13b5915500fdd1fa32071c4"
-        );
+        assert_eq!(hex(&ks[..16]), "10f1e7e4d13b5915500fdd1fa32071c4");
     }
 
     #[test]

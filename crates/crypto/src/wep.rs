@@ -196,7 +196,11 @@ impl IvSource {
     pub fn next_iv(&mut self, entropy: u32) -> [u8; 3] {
         match &mut self.policy {
             IvPolicy::Sequential(c) => {
-                let iv = [(*c & 0xFF) as u8, ((*c >> 8) & 0xFF) as u8, ((*c >> 16) & 0xFF) as u8];
+                let iv = [
+                    (*c & 0xFF) as u8,
+                    ((*c >> 8) & 0xFF) as u8,
+                    ((*c >> 16) & 0xFF) as u8,
+                ];
                 *c = c.wrapping_add(1);
                 iv
             }

@@ -12,8 +12,16 @@ fn add_be(a: &[u8], b: &[u8]) -> Vec<u8> {
     let mut out = vec![0u8; n];
     let mut carry = 0u16;
     for i in 0..n {
-        let da = if i < a.len() { a[a.len() - 1 - i] as u16 } else { 0 };
-        let db = if i < b.len() { b[b.len() - 1 - i] as u16 } else { 0 };
+        let da = if i < a.len() {
+            a[a.len() - 1 - i] as u16
+        } else {
+            0
+        };
+        let db = if i < b.len() {
+            b[b.len() - 1 - i] as u16
+        } else {
+            0
+        };
         let s = da + db + carry;
         out[n - 1 - i] = s as u8;
         carry = s >> 8;

@@ -175,7 +175,12 @@ mod tests {
     #[test]
     fn clean_network_no_alarms() {
         let mut sniffer = Sniffer::new();
-        sniffer.on_receive(SimTime::ZERO, &beacon_bytes(MacAddr::local(1), "CORP", 1), -50.0, 1);
+        sniffer.on_receive(
+            SimTime::ZERO,
+            &beacon_bytes(MacAddr::local(1), "CORP", 1),
+            -50.0,
+            1,
+        );
         sniffer.on_receive(
             SimTime::from_millis(100),
             &beacon_bytes(MacAddr::local(2), "CORP", 6),
@@ -216,7 +221,12 @@ mod tests {
         let rogue = MacAddr::local(66);
         let mut sniffer = Sniffer::new();
         sniffer.on_receive(SimTime::ZERO, &beacon_bytes(legit, "CORP", 1), -50.0, 1);
-        sniffer.on_receive(SimTime::from_millis(10), &beacon_bytes(rogue, "CORP", 6), -40.0, 6);
+        sniffer.on_receive(
+            SimTime::from_millis(10),
+            &beacon_bytes(rogue, "CORP", 6),
+            -40.0,
+            6,
+        );
         let mut auditor = SiteAuditor::new();
         auditor.authorize(legit, 1);
         auditor.audit(&sniffer);

@@ -70,8 +70,16 @@ impl SeqMonitor {
         }
     }
 
-    /// Observe one frame header.
+    /// Observe one frame header (assumes the retry flag is clear; use
+    /// [`SeqMonitor::observe_frame`] when the flag is known).
     pub fn observe(&mut self, at: SimTime, ta: MacAddr, seq: u16, channel: u8) {
+        self.observe_frame(at, ta, seq, channel, false);
+    }
+
+    /// Observe one frame header, with the header's retry flag. An 802.11
+    /// retransmission legitimately repeats its sequence number (with
+    /// retry set), so only non-retry duplicates count as evidence.
+    pub fn observe_frame(&mut self, at: SimTime, ta: MacAddr, seq: u16, channel: u8, retry: bool) {
         self.observed += 1;
         let st = self.per_ta.entry(ta).or_insert(TaState {
             last_seq: None,
@@ -96,16 +104,20 @@ impl SeqMonitor {
         st.last_channel = Some(channel);
 
         if let Some(last) = st.last_seq {
+            // Wright's spoof signature: the merged stream of two radios
+            // behind one address either repeats a counter value outright
+            // (a non-retry exact duplicate — ARQ retransmissions repeat
+            // the number but set the retry flag) or jumps backward by
+            // more than capture reordering can explain. All arithmetic
+            // is modulo 4096, so the 0x0FFF -> 0x000 wrap shows up as a
+            // small forward delta and stays clean.
             let delta = seq.wrapping_sub(last) & 0x0FFF;
-            let is_anomaly = delta == 0 && seq != last
-                || (delta > self.cfg.max_normal_gap
-                    && delta < 4096 - self.cfg.reorder_tolerance);
+            let is_anomaly = (delta == 0 && !retry)
+                || (delta > self.cfg.max_normal_gap && delta < 4096 - self.cfg.reorder_tolerance);
             if is_anomaly {
                 st.anomaly_times.push(at);
-                let window_start = SimTime(
-                    at.as_nanos()
-                        .saturating_sub(self.cfg.window.as_nanos()),
-                );
+                let window_start =
+                    SimTime(at.as_nanos().saturating_sub(self.cfg.window.as_nanos()));
                 st.anomaly_times.retain(|&t| t >= window_start);
                 if st.anomaly_times.len() as u32 >= self.cfg.alarm_threshold && !st.alarmed_seq {
                     st.alarmed_seq = true;
@@ -127,8 +139,11 @@ impl SeqMonitor {
 
     /// Feed every frame a sniffer captured from transmitter `ta`.
     pub fn feed_sniffer(&mut self, sniffer: &Sniffer, ta: MacAddr) {
-        for (at, seq, channel, _) in sniffer.seq_stream(ta) {
-            self.observe(at, ta, seq, channel);
+        use rogue_dot11::frame::FrameBody;
+        for c in &sniffer.captures {
+            if c.frame.addr2 == ta && c.frame.body != FrameBody::Ack {
+                self.observe_frame(c.at, ta, c.frame.seq, c.channel, c.frame.retry);
+            }
         }
     }
 
@@ -235,6 +250,75 @@ mod tests {
             m.observe(t(i * 1000), ta, seq, 1);
         }
         assert!(m.first_alarm(AlarmKind::SequenceAnomaly).is_none());
+    }
+
+    #[test]
+    fn nonretry_duplicates_alarm() {
+        // Two radios that collide on counter values repeat sequence
+        // numbers without the retry flag — Wright's duplicate signature.
+        let mut m = SeqMonitor::new(SeqMonConfig::default());
+        let ta = MacAddr::local(1);
+        for i in 0..10u64 {
+            m.observe_frame(t(i * 20), ta, 100, 1, false);
+        }
+        let alarm = m
+            .first_alarm(AlarmKind::SequenceAnomaly)
+            .expect("duplicates must alarm");
+        assert!(alarm.at <= t(200));
+    }
+
+    #[test]
+    fn retry_duplicates_are_clean() {
+        // An ARQ retransmission repeats the number with retry set: normal.
+        let mut m = SeqMonitor::new(SeqMonConfig::default());
+        let ta = MacAddr::local(1);
+        let mut seq = 0u16;
+        for i in 0..60u64 {
+            if i % 3 == 2 {
+                m.observe_frame(t(i * 10), ta, seq, 1, true); // retry
+            } else {
+                seq = (seq + 1) & 0x0FFF;
+                m.observe_frame(t(i * 10), ta, seq, 1, false);
+            }
+        }
+        assert!(m.alarms.is_empty(), "{:?}", m.alarms);
+    }
+
+    #[test]
+    fn wrap_at_0x0fff_boundary_is_clean() {
+        // Regression: 0x0FFE, 0x0FFF, 0x000, 0x001 is one healthy
+        // counter crossing the modulo-4096 wrap.
+        let mut m = SeqMonitor::new(SeqMonConfig::default());
+        let ta = MacAddr::local(1);
+        for (i, seq) in [0x0FFEu16, 0x0FFF, 0x000, 0x001].into_iter().enumerate() {
+            m.observe_frame(t(i as u64 * 10), ta, seq, 1, false);
+        }
+        assert!(m.alarms.is_empty(), "wrap must not alarm: {:?}", m.alarms);
+    }
+
+    #[test]
+    fn backward_jumps_near_wrap_still_alarm() {
+        // Jumping from low numbers back up close to 0x0FFF is a backward
+        // step (delta ≈ 4096 - jump), anomalous while it stays outside
+        // the reorder tolerance band.
+        let mut m = SeqMonitor::new(SeqMonConfig::default());
+        let ta = MacAddr::local(1);
+        let mut low = 5u16;
+        let mut high = 0x0FF0u16;
+        for i in 0..12u64 {
+            let seq = if i % 2 == 0 {
+                low += 1;
+                low
+            } else {
+                high = (high + 1) & 0x0FFF;
+                high
+            };
+            m.observe_frame(t(i * 20), ta, seq, 1, false);
+        }
+        assert!(
+            m.first_alarm(AlarmKind::SequenceAnomaly).is_some(),
+            "interleaving across the wrap must alarm"
+        );
     }
 
     #[test]

@@ -169,9 +169,14 @@ impl ApMac {
             }
             None => (body, false),
         };
-        let mut f = Frame::new(dst, self.cfg.bssid, src, FrameBody::Data {
-            payload: Bytes::from(body),
-        });
+        let mut f = Frame::new(
+            dst,
+            self.cfg.bssid,
+            src,
+            FrameBody::Data {
+                payload: Bytes::from(body),
+            },
+        );
         f.from_ds = true;
         f.protected = protected;
         self.txq.push(now, f, Bitrate::B11, !multicast);
@@ -183,7 +188,12 @@ impl ApMac {
     pub fn deauth_client(&mut self, now: SimTime, client: MacAddr, reason: u16) {
         self.clients.remove(&client);
         self.authed.remove(&client);
-        let f = Frame::new(client, self.cfg.bssid, self.cfg.bssid, FrameBody::Deauth { reason });
+        let f = Frame::new(
+            client,
+            self.cfg.bssid,
+            self.cfg.bssid,
+            FrameBody::Deauth { reason },
+        );
         self.txq.push(now, f, Bitrate::B1, !client.is_multicast());
     }
 
@@ -268,11 +278,16 @@ impl ApMac {
             }));
             1
         };
-        let f = Frame::new(sta, self.cfg.bssid, self.cfg.bssid, FrameBody::Auth {
-            algorithm: 0,
-            seq: 2,
-            status,
-        });
+        let f = Frame::new(
+            sta,
+            self.cfg.bssid,
+            self.cfg.bssid,
+            FrameBody::Auth {
+                algorithm: 0,
+                seq: 2,
+                status,
+            },
+        );
         self.txq.push(now, f, Bitrate::B1, true);
     }
 
@@ -307,11 +322,16 @@ impl ApMac {
             }));
             0
         };
-        let f = Frame::new(sta, self.cfg.bssid, self.cfg.bssid, FrameBody::AssocResp {
-            capability: self.capability(),
-            status,
-            aid,
-        });
+        let f = Frame::new(
+            sta,
+            self.cfg.bssid,
+            self.cfg.bssid,
+            FrameBody::AssocResp {
+                capability: self.capability(),
+                status,
+                aid,
+            },
+        );
         self.txq.push(now, f, Bitrate::B1, true);
     }
 
@@ -442,11 +462,16 @@ mod tests {
         let sta = MacAddr::local(10);
         let mut out = Vec::new();
 
-        let auth = Frame::new(a.bssid(), sta, a.bssid(), FrameBody::Auth {
-            algorithm: 0,
-            seq: 1,
-            status: 0,
-        });
+        let auth = Frame::new(
+            a.bssid(),
+            sta,
+            a.bssid(),
+            FrameBody::Auth {
+                algorithm: 0,
+                seq: 1,
+                status: 0,
+            },
+        );
         a.on_receive(SimTime::from_millis(1), &auth.encode(), -50.0, 1, &mut out);
         let resp = drive(&mut a, SimTime::from_millis(50));
         let auth_resp = tx_frames(&resp)
@@ -456,11 +481,22 @@ mod tests {
         assert!(matches!(auth_resp.body, FrameBody::Auth { status: 0, .. }));
 
         let mut out = Vec::new();
-        let assoc = Frame::new(a.bssid(), sta, a.bssid(), FrameBody::AssocReq {
-            capability: CAP_ESS,
-            ssid: "CORP".into(),
-        });
-        a.on_receive(SimTime::from_millis(60), &assoc.encode(), -50.0, 1, &mut out);
+        let assoc = Frame::new(
+            a.bssid(),
+            sta,
+            a.bssid(),
+            FrameBody::AssocReq {
+                capability: CAP_ESS,
+                ssid: "CORP".into(),
+            },
+        );
+        a.on_receive(
+            SimTime::from_millis(60),
+            &assoc.encode(),
+            -50.0,
+            1,
+            &mut out,
+        );
         assert!(a.is_associated(sta));
         assert!(out
             .iter()
@@ -477,22 +513,32 @@ mod tests {
         // Unknown MAC: refused.
         let outsider = MacAddr::local(66);
         let mut out = Vec::new();
-        let auth = Frame::new(a.bssid(), outsider, a.bssid(), FrameBody::Auth {
-            algorithm: 0,
-            seq: 1,
-            status: 0,
-        });
+        let auth = Frame::new(
+            a.bssid(),
+            outsider,
+            a.bssid(),
+            FrameBody::Auth {
+                algorithm: 0,
+                seq: 1,
+                status: 0,
+            },
+        );
         a.on_receive(SimTime::from_millis(1), &auth.encode(), -50.0, 1, &mut out);
         assert_eq!(a.acl_rejections, 1);
 
         // The same attacker after sniffing and cloning the allowed MAC:
         // indistinguishable, passes. (§2.1's point.)
         let mut out = Vec::new();
-        let auth = Frame::new(a.bssid(), allowed, a.bssid(), FrameBody::Auth {
-            algorithm: 0,
-            seq: 1,
-            status: 0,
-        });
+        let auth = Frame::new(
+            a.bssid(),
+            allowed,
+            a.bssid(),
+            FrameBody::Auth {
+                algorithm: 0,
+                seq: 1,
+                status: 0,
+            },
+        );
         a.on_receive(SimTime::from_millis(2), &auth.encode(), -50.0, 1, &mut out);
         assert!(a.authed.contains(&allowed));
     }
@@ -502,10 +548,15 @@ mod tests {
         let mut a = ap();
         let sta = MacAddr::local(10);
         let mut out = Vec::new();
-        let assoc = Frame::new(a.bssid(), sta, a.bssid(), FrameBody::AssocReq {
-            capability: CAP_ESS,
-            ssid: "CORP".into(),
-        });
+        let assoc = Frame::new(
+            a.bssid(),
+            sta,
+            a.bssid(),
+            FrameBody::AssocReq {
+                capability: CAP_ESS,
+                ssid: "CORP".into(),
+            },
+        );
         a.on_receive(SimTime::from_millis(1), &assoc.encode(), -50.0, 1, &mut out);
         assert!(!a.is_associated(sta));
         assert!(out
@@ -553,15 +604,22 @@ mod tests {
     fn uplink_data_from_associated_client_delivered() {
         let mut a = ap();
         let sta = join(&mut a, MacAddr::local(10));
-        let mut f = Frame::new(a.bssid(), sta, MacAddr::local(77), FrameBody::Data {
-            payload: Bytes::from(encode_llc(0x0800, b"uplink")),
-        });
+        let mut f = Frame::new(
+            a.bssid(),
+            sta,
+            MacAddr::local(77),
+            FrameBody::Data {
+                payload: Bytes::from(encode_llc(0x0800, b"uplink")),
+            },
+        );
         f.to_ds = true;
         f.seq = 3;
         let mut out = Vec::new();
         a.on_receive(SimTime::from_millis(100), &f.encode(), -50.0, 1, &mut out);
         let d = out.iter().find_map(|o| match o {
-            MacOutput::DeliverData { src, dst, payload, .. } => Some((*src, *dst, payload.clone())),
+            MacOutput::DeliverData {
+                src, dst, payload, ..
+            } => Some((*src, *dst, payload.clone())),
             _ => None,
         });
         let (src, dst, payload) = d.expect("delivered");
@@ -573,9 +631,14 @@ mod tests {
     #[test]
     fn uplink_from_stranger_dropped() {
         let mut a = ap();
-        let mut f = Frame::new(a.bssid(), MacAddr::local(66), MacAddr::local(77), FrameBody::Data {
-            payload: Bytes::from(encode_llc(0x0800, b"evil")),
-        });
+        let mut f = Frame::new(
+            a.bssid(),
+            MacAddr::local(66),
+            MacAddr::local(77),
+            FrameBody::Data {
+                payload: Bytes::from(encode_llc(0x0800, b"evil")),
+            },
+        );
         f.to_ds = true;
         let mut out = Vec::new();
         a.on_receive(SimTime::from_millis(1), &f.encode(), -50.0, 1, &mut out);
@@ -619,16 +682,26 @@ mod tests {
 
     fn join(a: &mut ApMac, sta: MacAddr) -> MacAddr {
         let mut out = Vec::new();
-        let auth = Frame::new(a.bssid(), sta, a.bssid(), FrameBody::Auth {
-            algorithm: 0,
-            seq: 1,
-            status: 0,
-        });
+        let auth = Frame::new(
+            a.bssid(),
+            sta,
+            a.bssid(),
+            FrameBody::Auth {
+                algorithm: 0,
+                seq: 1,
+                status: 0,
+            },
+        );
         a.on_receive(SimTime::from_millis(1), &auth.encode(), -50.0, 1, &mut out);
-        let mut assoc = Frame::new(a.bssid(), sta, a.bssid(), FrameBody::AssocReq {
-            capability: CAP_ESS,
-            ssid: "CORP".into(),
-        });
+        let mut assoc = Frame::new(
+            a.bssid(),
+            sta,
+            a.bssid(),
+            FrameBody::AssocReq {
+                capability: CAP_ESS,
+                ssid: "CORP".into(),
+            },
+        );
         assoc.seq = 1;
         a.on_receive(SimTime::from_millis(2), &assoc.encode(), -50.0, 1, &mut out);
         assert!(a.is_associated(sta));

@@ -347,9 +347,10 @@ impl Frame {
             (0, 5) => FrameBody::ProbeResp(parse_mgmt_info(body)?),
             (0, 4) => {
                 let ies = parse_ies(body)?;
-                let ssid = ies.iter().find(|(id, _)| *id == 0).map(|(_, v)| {
-                    String::from_utf8_lossy(v).into_owned()
-                });
+                let ssid = ies
+                    .iter()
+                    .find(|(id, _)| *id == 0)
+                    .map(|(_, v)| String::from_utf8_lossy(v).into_owned());
                 FrameBody::ProbeReq {
                     ssid: ssid.filter(|s| !s.is_empty()),
                 }
@@ -667,7 +668,10 @@ mod tests {
     #[test]
     fn llc_roundtrip() {
         let framed = encode_llc(0x0800, b"ip packet");
-        assert_eq!(framed[0], 0xAA, "SNAP first byte is the FMS known-plaintext");
+        assert_eq!(
+            framed[0], 0xAA,
+            "SNAP first byte is the FMS known-plaintext"
+        );
         let (et, payload) = decode_llc(&framed).unwrap();
         assert_eq!(et, 0x0800);
         assert_eq!(payload, b"ip packet");

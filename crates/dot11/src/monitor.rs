@@ -142,8 +142,13 @@ mod tests {
     #[test]
     fn captures_and_counts() {
         let mut s = Sniffer::new();
-        let f = Frame::new(MacAddr::local(1), MacAddr::local(2), MacAddr::local(3), FrameBody::Deauth { reason: 1 });
-        s.on_receive(SimTime::ZERO, &f.encode(), -40.0, 1, );
+        let f = Frame::new(
+            MacAddr::local(1),
+            MacAddr::local(2),
+            MacAddr::local(3),
+            FrameBody::Deauth { reason: 1 },
+        );
+        s.on_receive(SimTime::ZERO, &f.encode(), -40.0, 1);
         s.on_receive(SimTime::ZERO, &Bytes::from_static(b"garbage????"), -40.0, 1);
         assert_eq!(s.len(), 1);
         assert_eq!(s.undecodable, 1);
@@ -177,9 +182,14 @@ mod tests {
         let bssid = MacAddr::local(1);
         let mut s = Sniffer::new();
         for n in [10u64, 11, 10] {
-            let mut f = Frame::new(bssid, MacAddr::local(n), MacAddr::local(99), FrameBody::Data {
-                payload: Bytes::from(encode_llc(0x0800, b"x")),
-            });
+            let mut f = Frame::new(
+                bssid,
+                MacAddr::local(n),
+                MacAddr::local(99),
+                FrameBody::Data {
+                    payload: Bytes::from(encode_llc(0x0800, b"x")),
+                },
+            );
             f.to_ds = true;
             s.on_receive(SimTime::ZERO, &f.encode(), -40.0, 1);
         }
@@ -193,13 +203,18 @@ mod tests {
         let ta = MacAddr::local(2);
         let mut s = Sniffer::new();
         for (t, seq) in [(1u64, 5u16), (2, 6), (3, 7)] {
-            let mut f = Frame::new(MacAddr::BROADCAST, ta, ta, FrameBody::Beacon(MgmtInfo {
-                timestamp: 0,
-                beacon_interval_tu: 100,
-                capability: CAP_ESS,
-                ssid: "X".into(),
-                channel: 1,
-            }));
+            let mut f = Frame::new(
+                MacAddr::BROADCAST,
+                ta,
+                ta,
+                FrameBody::Beacon(MgmtInfo {
+                    timestamp: 0,
+                    beacon_interval_tu: 100,
+                    capability: CAP_ESS,
+                    ssid: "X".into(),
+                    channel: 1,
+                }),
+            );
             f.seq = seq;
             s.on_receive(SimTime::from_millis(t), &f.encode(), -40.0, 1);
         }

@@ -223,9 +223,14 @@ impl StaMac {
             }
             None => (body, false),
         };
-        let mut f = Frame::new(bssid, self.cfg.mac, dst, FrameBody::Data {
-            payload: Bytes::from(body),
-        });
+        let mut f = Frame::new(
+            bssid,
+            self.cfg.mac,
+            dst,
+            FrameBody::Data {
+                payload: Bytes::from(body),
+            },
+        );
         f.to_ds = true;
         f.protected = protected;
         self.txq.push(now, f, Bitrate::B11, true);
@@ -253,7 +258,14 @@ impl StaMac {
                 return;
             }
             FrameBody::Beacon(info) | FrameBody::ProbeResp(info) => {
-                self.on_beacon(now, &frame, info.ssid.clone(), info.capability, channel, rssi_dbm);
+                self.on_beacon(
+                    now,
+                    &frame,
+                    info.ssid.clone(),
+                    info.capability,
+                    channel,
+                    rssi_dbm,
+                );
                 return;
             }
             _ => {}
@@ -360,10 +372,15 @@ impl StaMac {
         if self.cfg.wep.is_some() {
             cap |= CAP_PRIVACY;
         }
-        let f = Frame::new(t.bssid, self.cfg.mac, t.bssid, FrameBody::AssocReq {
-            capability: cap,
-            ssid: self.cfg.ssid.clone(),
-        });
+        let f = Frame::new(
+            t.bssid,
+            self.cfg.mac,
+            t.bssid,
+            FrameBody::AssocReq {
+                capability: cap,
+                ssid: self.cfg.ssid.clone(),
+            },
+        );
         self.txq.push(now, f, Bitrate::B1, true);
         self.state = StaState::Associating;
         self.state_deadline = now + JOIN_TIMEOUT;
@@ -525,11 +542,16 @@ impl StaMac {
             Some(c) => {
                 self.channel = c.channel;
                 out.push(MacOutput::SetChannel(c.channel));
-                let f = Frame::new(c.bssid, self.cfg.mac, c.bssid, FrameBody::Auth {
-                    algorithm: 0,
-                    seq: 1,
-                    status: 0,
-                });
+                let f = Frame::new(
+                    c.bssid,
+                    self.cfg.mac,
+                    c.bssid,
+                    FrameBody::Auth {
+                        algorithm: 0,
+                        seq: 1,
+                        status: 0,
+                    },
+                );
                 self.txq.push(now, f, Bitrate::B1, true);
                 self.target = Some(c);
                 self.state = StaState::Authenticating;
@@ -596,17 +618,12 @@ mod tests {
     fn scans_all_channels_then_rescans() {
         let mut sta = StaMac::new(cfg(), SimRng::new(Seed(1)), SimTime::ZERO);
         let mut channels = Vec::new();
-        run_until(
-            &mut sta,
-            SimTime::ZERO,
-            SimTime::from_secs(1),
-            |_, o| {
-                if let MacOutput::SetChannel(c) = o {
-                    channels.push(*c);
-                }
-                channels.len() >= 4
-            },
-        );
+        run_until(&mut sta, SimTime::ZERO, SimTime::from_secs(1), |_, o| {
+            if let MacOutput::SetChannel(c) = o {
+                channels.push(*c);
+            }
+            channels.len() >= 4
+        });
         // After sweeping 1, 6, 11 with no beacons it starts over at 1.
         assert_eq!(&channels[..4], &[6, 11, 1, 6]);
     }
@@ -649,20 +666,30 @@ mod tests {
 
         // AP responds: auth success, then assoc success.
         let mut out = Vec::new();
-        let auth_ok = Frame::new(sta.mac(), ap, ap, FrameBody::Auth {
-            algorithm: 0,
-            seq: 2,
-            status: 0,
-        })
+        let auth_ok = Frame::new(
+            sta.mac(),
+            ap,
+            ap,
+            FrameBody::Auth {
+                algorithm: 0,
+                seq: 2,
+                status: 0,
+            },
+        )
         .encode();
         sta.on_receive(now, &auth_ok, -50.0, 1, &mut out);
         assert_eq!(*sta.state(), StaState::Associating);
 
-        let assoc_ok = Frame::new(sta.mac(), ap, ap, FrameBody::AssocResp {
-            capability: CAP_ESS,
-            status: 0,
-            aid: 1,
-        })
+        let assoc_ok = Frame::new(
+            sta.mac(),
+            ap,
+            ap,
+            FrameBody::AssocResp {
+                capability: CAP_ESS,
+                status: 0,
+                aid: 1,
+            },
+        )
         .encode();
         let mut out = Vec::new();
         sta.on_receive(now, &assoc_ok, -50.0, 1, &mut out);
@@ -680,8 +707,20 @@ mod tests {
         let rogue = MacAddr::local(666);
         let mut sta = StaMac::new(cfg(), SimRng::new(Seed(3)), SimTime::ZERO);
         let mut out = Vec::new();
-        sta.on_receive(SimTime::from_millis(5), &beacon(legit, "CORP", CAP_ESS, 1), -70.0, 1, &mut out);
-        sta.on_receive(SimTime::from_millis(6), &beacon(rogue, "CORP", CAP_ESS, 6), -45.0, 6, &mut out);
+        sta.on_receive(
+            SimTime::from_millis(5),
+            &beacon(legit, "CORP", CAP_ESS, 1),
+            -70.0,
+            1,
+            &mut out,
+        );
+        sta.on_receive(
+            SimTime::from_millis(6),
+            &beacon(rogue, "CORP", CAP_ESS, 6),
+            -45.0,
+            6,
+            &mut out,
+        );
 
         let mut target = None;
         for _ in 0..64 {
@@ -714,7 +753,13 @@ mod tests {
         let mut sta = StaMac::new(cfg, SimRng::new(Seed(4)), SimTime::ZERO);
         let open_ap = MacAddr::local(1);
         let mut out = Vec::new();
-        sta.on_receive(SimTime::from_millis(5), &beacon(open_ap, "CORP", CAP_ESS, 1), -40.0, 1, &mut out);
+        sta.on_receive(
+            SimTime::from_millis(5),
+            &beacon(open_ap, "CORP", CAP_ESS, 1),
+            -40.0,
+            1,
+            &mut out,
+        );
         // Complete a full scan; station should go back to scanning, not auth.
         let t = run_until(&mut sta, SimTime::ZERO, SimTime::from_secs(1), |_, o| {
             matches!(o, MacOutput::Tx { .. })
@@ -788,9 +833,14 @@ mod tests {
         assert_eq!(sta.data_tx, 1);
 
         // Downlink data from the AP.
-        let mut f = Frame::new(sta.mac(), ap, MacAddr::local(50), FrameBody::Data {
-            payload: Bytes::from(encode_llc(0x0800, b"pong")),
-        });
+        let mut f = Frame::new(
+            sta.mac(),
+            ap,
+            MacAddr::local(50),
+            FrameBody::Data {
+                payload: Bytes::from(encode_llc(0x0800, b"pong")),
+            },
+        );
         f.from_ds = true;
         f.seq = 7;
         let mut out = Vec::new();
@@ -828,9 +878,14 @@ mod tests {
 
         // Valid protected downlink frame.
         let body = wep::seal(&key, [1, 2, 3], 0, &encode_llc(0x0800, b"secret"));
-        let mut f = Frame::new(sta.mac(), ap, MacAddr::local(50), FrameBody::Data {
-            payload: Bytes::from(body),
-        });
+        let mut f = Frame::new(
+            sta.mac(),
+            ap,
+            MacAddr::local(50),
+            FrameBody::Data {
+                payload: Bytes::from(body),
+            },
+        );
         f.from_ds = true;
         f.protected = true;
         f.seq = 1;
@@ -842,9 +897,14 @@ mod tests {
         let mut body = wep::seal(&key, [1, 2, 4], 0, &encode_llc(0x0800, b"secret"));
         let blen = body.len();
         body[blen - 1] ^= 0xFF;
-        let mut f = Frame::new(sta.mac(), ap, MacAddr::local(50), FrameBody::Data {
-            payload: Bytes::from(body),
-        });
+        let mut f = Frame::new(
+            sta.mac(),
+            ap,
+            MacAddr::local(50),
+            FrameBody::Data {
+                payload: Bytes::from(body),
+            },
+        );
         f.from_ds = true;
         f.protected = true;
         f.seq = 2;
@@ -860,9 +920,14 @@ mod tests {
     fn duplicate_retransmission_suppressed() {
         let ap = MacAddr::local(99);
         let mut sta = associated_station(ap);
-        let mut f = Frame::new(sta.mac(), ap, MacAddr::local(50), FrameBody::Data {
-            payload: Bytes::from(encode_llc(0x0800, b"once")),
-        });
+        let mut f = Frame::new(
+            sta.mac(),
+            ap,
+            MacAddr::local(50),
+            FrameBody::Data {
+                payload: Bytes::from(encode_llc(0x0800, b"once")),
+            },
+        );
         f.from_ds = true;
         f.seq = 42;
         let bytes = f.encode();
@@ -890,7 +955,13 @@ mod tests {
         };
         let mut sta = StaMac::new(c, SimRng::new(Seed(42)), SimTime::ZERO);
         let mut out = Vec::new();
-        sta.on_receive(SimTime::from_millis(5), &beacon(ap, "CORP", cap, 1), -50.0, 1, &mut out);
+        sta.on_receive(
+            SimTime::from_millis(5),
+            &beacon(ap, "CORP", cap, 1),
+            -50.0,
+            1,
+            &mut out,
+        );
         // March through scan -> auth -> assoc.
         let mut now;
         for _ in 0..128 {
@@ -909,21 +980,31 @@ mod tests {
                     match f.body {
                         FrameBody::Auth { seq: 1, .. } => {
                             inject.push(
-                                Frame::new(sta.mac(), ap, ap, FrameBody::Auth {
-                                    algorithm: 0,
-                                    seq: 2,
-                                    status: 0,
-                                })
+                                Frame::new(
+                                    sta.mac(),
+                                    ap,
+                                    ap,
+                                    FrameBody::Auth {
+                                        algorithm: 0,
+                                        seq: 2,
+                                        status: 0,
+                                    },
+                                )
                                 .encode(),
                             );
                         }
                         FrameBody::AssocReq { .. } => {
                             inject.push(
-                                Frame::new(sta.mac(), ap, ap, FrameBody::AssocResp {
-                                    capability: cap,
-                                    status: 0,
-                                    aid: 1,
-                                })
+                                Frame::new(
+                                    sta.mac(),
+                                    ap,
+                                    ap,
+                                    FrameBody::AssocResp {
+                                        capability: cap,
+                                        status: 0,
+                                        aid: 1,
+                                    },
+                                )
                                 .encode(),
                             );
                         }
@@ -936,7 +1017,11 @@ mod tests {
                 sta.on_receive(now, &bytes, -50.0, 1, &mut out);
             }
         }
-        assert_eq!(*sta.state(), StaState::Associated, "helper failed to associate");
+        assert_eq!(
+            *sta.state(),
+            StaState::Associated,
+            "helper failed to associate"
+        );
         sta
     }
 }

@@ -207,7 +207,12 @@ mod tests {
     use rogue_sim::Seed;
 
     fn frame(dst: MacAddr) -> Frame {
-        Frame::new(dst, MacAddr::local(1), MacAddr::local(9), FrameBody::Deauth { reason: 1 })
+        Frame::new(
+            dst,
+            MacAddr::local(1),
+            MacAddr::local(9),
+            FrameBody::Deauth { reason: 1 },
+        )
     }
 
     fn drain(q: &mut TxQueue, now: SimTime) -> Vec<MacOutput> {

@@ -217,6 +217,9 @@ mod tests {
         let gw = Ipv4Addr::new(192, 168, 0, 1);
         c.insert(SimTime::ZERO, gw, MacAddr::local(1));
         c.insert(SimTime::from_secs(1), gw, MacAddr::local(666));
-        assert_eq!(c.lookup(SimTime::from_secs(2), gw), Some(MacAddr::local(666)));
+        assert_eq!(
+            c.lookup(SimTime::from_secs(2), gw),
+            Some(MacAddr::local(666))
+        );
     }
 }

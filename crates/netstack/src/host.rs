@@ -286,10 +286,10 @@ impl Host {
                 let out = Ipv4Packet::new(pkt.dst, pkt.src, proto::ICMP, reply.encode());
                 self.ip_output(now, out);
             }
-            IcmpMessage::EchoReply { ident, seq, .. }
-                if ident == self.ping_ident => {
-                    self.events.push(HostEvent::PingReply { from: pkt.src, seq });
-                }
+            IcmpMessage::EchoReply { ident, seq, .. } if ident == self.ping_ident => {
+                self.events
+                    .push(HostEvent::PingReply { from: pkt.src, seq });
+            }
             _ => {}
         }
     }
@@ -815,7 +815,9 @@ mod tests {
             a.poll(now);
             a.take_frames();
         }
-        assert!(a.take_events().contains(&HostEvent::ArpFailed { dst: IP_B }));
+        assert!(a
+            .take_events()
+            .contains(&HostEvent::ArpFailed { dst: IP_B }));
     }
 
     #[test]
@@ -1098,7 +1100,12 @@ mod tests {
             UdpDatagram::new(1, 2, Bytes::from_static(b"x"))
                 .encode(Ipv4Addr::new(192, 168, 0, 7), IP_A),
         );
-        let eth = EthFrame::new(MacAddr::local(42), MacAddr::local(43), ET_IPV4, pkt.encode());
+        let eth = EthFrame::new(
+            MacAddr::local(42),
+            MacAddr::local(43),
+            ET_IPV4,
+            pkt.encode(),
+        );
         // Not addressed to us: dropped without promiscuous mode.
         h.on_link_rx(SimTime::ZERO, i0, &eth.encode());
         assert_eq!(h.delivered, 0);

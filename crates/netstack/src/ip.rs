@@ -96,12 +96,7 @@ pub fn checksum(data: &[u8]) -> u16 {
 }
 
 /// Checksum with a pseudo-header prefix sum (TCP/UDP).
-pub fn checksum_with_pseudo(
-    src: Ipv4Addr,
-    dst: Ipv4Addr,
-    protocol: u8,
-    payload: &[u8],
-) -> u16 {
+pub fn checksum_with_pseudo(src: Ipv4Addr, dst: Ipv4Addr, protocol: u8, payload: &[u8]) -> u16 {
     let mut acc: u32 = 0;
     acc = sum_words(&src.octets(), acc);
     acc = sum_words(&dst.octets(), acc);
@@ -228,7 +223,10 @@ mod tests {
         assert!(in_subnet(Ipv4Addr::new(192, 168, 0, 42), net, 24));
         assert!(!in_subnet(Ipv4Addr::new(192, 168, 1, 42), net, 24));
         assert!(in_subnet(Ipv4Addr::new(192, 168, 1, 42), net, 16));
-        assert!(in_subnet(Ipv4Addr::new(8, 8, 8, 8), net, 0), "default route");
+        assert!(
+            in_subnet(Ipv4Addr::new(8, 8, 8, 8), net, 0),
+            "default route"
+        );
     }
 
     #[test]

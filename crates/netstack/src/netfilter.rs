@@ -96,8 +96,8 @@ fn endpoints(pkt: &Ipv4Packet) -> Option<(u16, u16)> {
 fn rebuild(pkt: &mut Ipv4Packet, new_src: (Ipv4Addr, u16), new_dst: (Ipv4Addr, u16)) {
     match pkt.protocol {
         proto::TCP => {
-            let mut seg = TcpSegment::decode(pkt.src, pkt.dst, &pkt.payload)
-                .expect("caller validated");
+            let mut seg =
+                TcpSegment::decode(pkt.src, pkt.dst, &pkt.payload).expect("caller validated");
             seg.src_port = new_src.1;
             seg.dst_port = new_dst.1;
             pkt.src = new_src.0;
@@ -105,8 +105,8 @@ fn rebuild(pkt: &mut Ipv4Packet, new_src: (Ipv4Addr, u16), new_dst: (Ipv4Addr, u
             pkt.payload = seg.encode(pkt.src, pkt.dst);
         }
         proto::UDP => {
-            let mut dg = UdpDatagram::decode(pkt.src, pkt.dst, &pkt.payload)
-                .expect("caller validated");
+            let mut dg =
+                UdpDatagram::decode(pkt.src, pkt.dst, &pkt.payload).expect("caller validated");
             dg.src_port = new_src.1;
             dg.dst_port = new_dst.1;
             pkt.src = new_src.0;

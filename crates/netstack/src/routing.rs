@@ -136,10 +136,7 @@ mod tests {
                 ifindex: 2
             }
         );
-        assert_eq!(
-            t.lookup(Ipv4Addr::new(192, 168, 0, 7)).unwrap().ifindex,
-            1
-        );
+        assert_eq!(t.lookup(Ipv4Addr::new(192, 168, 0, 7)).unwrap().ifindex, 1);
         let nh = t.lookup(Ipv4Addr::new(8, 8, 8, 8)).unwrap();
         assert_eq!(nh.via, Ipv4Addr::new(192, 168, 0, 1));
         assert_eq!(nh.ifindex, 0);

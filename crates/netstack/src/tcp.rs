@@ -233,13 +233,7 @@ impl TcpConnection {
             mss,
         );
         c.peer_window = syn.window as usize;
-        c.emit(
-            now,
-            iss,
-            c.rcv_nxt,
-            flags::SYN | flags::ACK,
-            Bytes::new(),
-        );
+        c.emit(now, iss, c.rcv_nxt, flags::SYN | flags::ACK, Bytes::new());
         c.snd_nxt = iss.wrapping_add(1);
         c.arm_rtx(now);
         c
@@ -368,7 +362,13 @@ impl TcpConnection {
     /// Abortive close: RST now.
     pub fn abort(&mut self, now: SimTime) {
         if !matches!(self.state, TcpState::Closed | TcpState::TimeWait) {
-            self.emit(now, self.snd_nxt, self.rcv_nxt, flags::RST | flags::ACK, Bytes::new());
+            self.emit(
+                now,
+                self.snd_nxt,
+                self.rcv_nxt,
+                flags::RST | flags::ACK,
+                Bytes::new(),
+            );
         }
         self.state = TcpState::Closed;
     }
@@ -595,9 +595,8 @@ impl TcpConnection {
                     sample - srtt
                 };
                 // rttvar = 3/4 rttvar + 1/4 |diff|
-                self.rttvar = SimDuration::from_nanos(
-                    (self.rttvar.as_nanos() * 3 + diff.as_nanos()) / 4,
-                );
+                self.rttvar =
+                    SimDuration::from_nanos((self.rttvar.as_nanos() * 3 + diff.as_nanos()) / 4);
                 // srtt = 7/8 srtt + 1/8 sample
                 self.srtt = Some(SimDuration::from_nanos(
                     (srtt.as_nanos() * 7 + sample.as_nanos()) / 8,

@@ -367,7 +367,10 @@ mod tests {
         let a = m.add_radio(Pos::new(0.0, 0.0), 1, 15.0);
         let _b = m.add_radio(Pos::new(10.0, 0.0), 6, 15.0);
         let (h, end) = m.begin_tx(SimTime::ZERO, a, bytes(100), Bitrate::B11);
-        assert!(m.complete_tx(end, h).is_empty(), "channel 6 cannot decode channel 1");
+        assert!(
+            m.complete_tx(end, h).is_empty(),
+            "channel 6 cannot decode channel 1"
+        );
     }
 
     #[test]
@@ -379,7 +382,11 @@ mod tests {
         let _sniffer = m.add_radio(Pos::new(30.0, 30.0), 6, 15.0);
         let (h, end) = m.begin_tx(SimTime::ZERO, a, bytes(64), Bitrate::B1);
         let ds = m.complete_tx(end, h);
-        assert_eq!(ds.len(), 3, "everyone in range hears broadcast, incl. sniffer");
+        assert_eq!(
+            ds.len(),
+            3,
+            "everyone in range hears broadcast, incl. sniffer"
+        );
     }
 
     #[test]

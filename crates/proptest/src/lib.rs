@@ -1,0 +1,329 @@
+//! Vendored stand-in for the `proptest` property-testing crate.
+//!
+//! Supports the subset this workspace's property tests use: the
+//! `proptest! { #[test] fn name(x in STRATEGY, ...) { ... } }` macro,
+//! `prop_assert!` / `prop_assert_eq!` / `prop_assume!`, `any::<T>()` for
+//! primitives and byte arrays, integer range strategies, and
+//! `collection::vec`. Each test samples a fixed number of cases from a
+//! deterministic per-test-name stream, so failures reproduce exactly.
+//! There is no shrinking: a failing case prints its assertion message and
+//! the case index.
+
+/// Deterministic sampling machinery used by the generated tests.
+pub mod test_runner {
+    /// Why a generated case did not pass.
+    pub enum TestCaseError {
+        /// `prop_assume!` rejected the inputs; try another case.
+        Reject,
+        /// An assertion failed.
+        Fail(String),
+    }
+
+    /// Cases sampled per property (after rejections).
+    pub fn cases() -> u32 {
+        64
+    }
+
+    /// SplitMix64 stream seeded from the test's name — stable across
+    /// runs and platforms.
+    pub struct Rng {
+        state: u64,
+    }
+
+    impl Rng {
+        /// Deterministic stream for `name`.
+        pub fn deterministic(name: &str) -> Rng {
+            // FNV-1a over the name picks the stream.
+            let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+            for b in name.bytes() {
+                h ^= b as u64;
+                h = h.wrapping_mul(0x0000_0100_0000_01B3);
+            }
+            Rng { state: h }
+        }
+
+        /// Next 64 uniform bits.
+        pub fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+
+        /// Uniform in `[0, bound)`; `bound` must be nonzero.
+        pub fn below(&mut self, bound: u64) -> u64 {
+            // Multiply-shift; bias is negligible for test generation.
+            ((self.next_u64() as u128 * bound as u128) >> 64) as u64
+        }
+    }
+}
+
+/// The names property tests import.
+pub mod prelude {
+    pub use crate::strategy::{any, Strategy};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assume, proptest};
+}
+
+/// Value-generation strategies.
+pub mod strategy {
+    use crate::test_runner::Rng;
+    use std::marker::PhantomData;
+    use std::ops::{Range, RangeInclusive};
+
+    /// Something that can produce values from random bits.
+    pub trait Strategy {
+        /// The generated type.
+        type Value;
+        /// Sample one value.
+        fn sample(&self, rng: &mut Rng) -> Self::Value;
+    }
+
+    /// Marker strategy for "any value of `T`".
+    pub struct Any<T>(PhantomData<T>);
+
+    /// The `any::<T>()` strategy.
+    pub fn any<T>() -> Any<T>
+    where
+        Any<T>: Strategy,
+    {
+        Any(PhantomData)
+    }
+
+    macro_rules! any_uint {
+        ($($t:ty),*) => {$(
+            impl Strategy for Any<$t> {
+                type Value = $t;
+                fn sample(&self, rng: &mut Rng) -> $t {
+                    rng.next_u64() as $t
+                }
+            }
+        )*};
+    }
+    any_uint!(u8, u16, u32, u64, usize);
+
+    impl Strategy for Any<bool> {
+        type Value = bool;
+        fn sample(&self, rng: &mut Rng) -> bool {
+            rng.next_u64() & 1 == 1
+        }
+    }
+
+    impl<const N: usize> Strategy for Any<[u8; N]> {
+        type Value = [u8; N];
+        fn sample(&self, rng: &mut Rng) -> [u8; N] {
+            let mut out = [0u8; N];
+            for b in out.iter_mut() {
+                *b = rng.next_u64() as u8;
+            }
+            out
+        }
+    }
+
+    macro_rules! range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for Range<$t> {
+                type Value = $t;
+                fn sample(&self, rng: &mut Rng) -> $t {
+                    assert!(self.start < self.end, "empty range strategy");
+                    let span = (self.end - self.start) as u64;
+                    self.start + rng.below(span) as $t
+                }
+            }
+            impl Strategy for RangeInclusive<$t> {
+                type Value = $t;
+                fn sample(&self, rng: &mut Rng) -> $t {
+                    let (lo, hi) = (*self.start(), *self.end());
+                    assert!(lo <= hi, "empty range strategy");
+                    let span = (hi - lo) as u64;
+                    if span == u64::MAX {
+                        return rng.next_u64() as $t;
+                    }
+                    lo + rng.below(span + 1) as $t
+                }
+            }
+        )*};
+    }
+    range_strategy!(u8, u16, u32, u64, usize);
+}
+
+/// Collection strategies (`collection::vec`).
+pub mod collection {
+    use crate::strategy::Strategy;
+    use crate::test_runner::Rng;
+    use std::ops::{Range, RangeInclusive};
+
+    /// Length bounds for generated collections.
+    pub struct SizeRange {
+        lo: usize,
+        hi_inclusive: usize,
+    }
+
+    impl From<Range<usize>> for SizeRange {
+        fn from(r: Range<usize>) -> SizeRange {
+            assert!(r.start < r.end, "empty size range");
+            SizeRange {
+                lo: r.start,
+                hi_inclusive: r.end - 1,
+            }
+        }
+    }
+
+    impl From<RangeInclusive<usize>> for SizeRange {
+        fn from(r: RangeInclusive<usize>) -> SizeRange {
+            SizeRange {
+                lo: *r.start(),
+                hi_inclusive: *r.end(),
+            }
+        }
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> SizeRange {
+            SizeRange {
+                lo: n,
+                hi_inclusive: n,
+            }
+        }
+    }
+
+    /// Strategy producing `Vec`s of `element` with lengths in `size`.
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    /// `collection::vec(element, len_range)`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn sample(&self, rng: &mut Rng) -> Vec<S::Value> {
+            let span = (self.size.hi_inclusive - self.size.lo) as u64;
+            let len = self.size.lo + rng.below(span + 1) as usize;
+            (0..len).map(|_| self.element.sample(rng)).collect()
+        }
+    }
+}
+
+/// Generate `#[test]` functions that sample each listed strategy.
+#[macro_export]
+macro_rules! proptest {
+    ($($(#[$attr:meta])* fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block)*) => {
+        $(
+            $(#[$attr])*
+            fn $name() {
+                let mut rng = $crate::test_runner::Rng::deterministic(stringify!($name));
+                let want = $crate::test_runner::cases();
+                let mut accepted = 0u32;
+                let mut attempts = 0u32;
+                while accepted < want {
+                    attempts += 1;
+                    assert!(
+                        attempts < want * 20,
+                        "proptest: too many rejected cases in {}",
+                        stringify!($name)
+                    );
+                    $(let $arg = $crate::strategy::Strategy::sample(&($strat), &mut rng);)+
+                    let outcome = (|| -> ::std::result::Result<(), $crate::test_runner::TestCaseError> {
+                        $body
+                        Ok(())
+                    })();
+                    match outcome {
+                        Ok(()) => accepted += 1,
+                        Err($crate::test_runner::TestCaseError::Reject) => {}
+                        Err($crate::test_runner::TestCaseError::Fail(msg)) => {
+                            panic!(
+                                "property {} failed on case {}: {}",
+                                stringify!($name),
+                                accepted,
+                                msg
+                            );
+                        }
+                    }
+                }
+            }
+        )*
+    };
+}
+
+/// `assert!` that reports through the proptest harness.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::Fail(
+                format!($($fmt)+),
+            ));
+        }
+    };
+}
+
+/// `assert_eq!` that reports through the proptest harness.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(l == r, "{:?} != {:?}", l, r);
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(l == r, "{}: {:?} != {:?}", format!($($fmt)+), l, r);
+    }};
+}
+
+/// Reject the current case (resampled, not counted).
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::Reject);
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        /// The harness runs and honours assumptions.
+        #[test]
+        fn sums_commute(a in 0u32..1000, b in 0u32..1000) {
+            prop_assume!(a != b);
+            prop_assert_eq!(a as u64 + b as u64, b as u64 + a as u64);
+        }
+
+        /// Vec strategy respects its length bounds.
+        #[test]
+        fn vec_lengths(v in crate::collection::vec(any::<u8>(), 3..7)) {
+            prop_assert!(v.len() >= 3 && v.len() < 7, "len {}", v.len());
+        }
+    }
+
+    #[test]
+    fn deterministic_streams() {
+        let mut a = crate::test_runner::Rng::deterministic("x");
+        let mut b = crate::test_runner::Rng::deterministic("x");
+        assert_eq!(a.next_u64(), b.next_u64());
+    }
+
+    #[test]
+    #[should_panic(expected = "property")]
+    fn failures_panic() {
+        proptest! {
+            fn always_fails(_a in 0u8..4) {
+                prop_assert!(false, "boom");
+            }
+        }
+        always_fails();
+    }
+}

@@ -1,0 +1,52 @@
+//! Vendored stand-in for `rayon`'s parallel-iterator entry points.
+//!
+//! The sandbox has no registry access, so `par_iter()` and
+//! `into_par_iter()` here return ordinary sequential iterators. The
+//! experiment drivers were written so replication merging is associative
+//! and every world forks its own seed — results are bit-identical
+//! whether replications run in parallel or, as here, in order.
+
+/// The traits the experiment drivers import.
+pub mod prelude {
+    /// `into_par_iter()` for any owned iterable (ranges, vectors).
+    pub trait IntoParallelIterator: IntoIterator + Sized {
+        /// Sequential stand-in for rayon's parallel iterator.
+        fn into_par_iter(self) -> Self::IntoIter {
+            self.into_iter()
+        }
+    }
+
+    impl<I: IntoIterator> IntoParallelIterator for I {}
+
+    /// `par_iter()` for anything iterable by reference (slices, vectors).
+    pub trait IntoParallelRefIterator<'data> {
+        /// The sequential iterator type.
+        type Iter: Iterator;
+        /// Sequential stand-in for rayon's borrowed parallel iterator.
+        fn par_iter(&'data self) -> Self::Iter;
+    }
+
+    impl<'data, C: ?Sized + 'data> IntoParallelRefIterator<'data> for C
+    where
+        &'data C: IntoIterator,
+    {
+        type Iter = <&'data C as IntoIterator>::IntoIter;
+        fn par_iter(&'data self) -> Self::Iter {
+            self.into_iter()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn ranges_and_slices_iterate_in_order() {
+        let doubled: Vec<usize> = (0..5usize).into_par_iter().map(|x| x * 2).collect();
+        assert_eq!(doubled, vec![0, 2, 4, 6, 8]);
+        let v = vec![10, 20, 30];
+        let sum: i32 = v.par_iter().sum();
+        assert_eq!(sum, 60);
+    }
+}

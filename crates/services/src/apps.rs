@@ -231,7 +231,11 @@ impl App for DownloadClient {
             DlState::Idle => {
                 if now >= self.start_at {
                     let h = host.tcp_connect(now, self.server, 80);
-                    host.tcp_send(now, h, &get_request(&self.page_path, &self.server.to_string()));
+                    host.tcp_send(
+                        now,
+                        h,
+                        &get_request(&self.page_path, &self.server.to_string()),
+                    );
                     self.state = DlState::FetchingPage { h, buf: Vec::new() };
                 }
             }
@@ -318,8 +322,14 @@ impl App for DownloadClient {
 // ---------------------------------------------------------------------
 
 enum BrState {
-    Waiting { next: SimTime },
-    Fetching { h: SocketHandle, buf: Vec<u8>, started: SimTime },
+    Waiting {
+        next: SimTime,
+    },
+    Fetching {
+        h: SocketHandle,
+        buf: Vec<u8>,
+        started: SimTime,
+    },
 }
 
 /// Repeatedly fetches one page and checks the body against the known
@@ -507,12 +517,12 @@ mod tests {
         impl App for Nop {
             fn poll(&mut self, _: SimTime, _: &mut Host, _: &mut Vec<AppEvent>) {}
 
-        fn as_any(&self) -> &dyn std::any::Any {
-            self
-        }
-        fn as_any_mut(&mut self) -> &mut dyn std::any::Any {
-            self
-        }
+            fn as_any(&self) -> &dyn std::any::Any {
+                self
+            }
+            fn as_any_mut(&mut self) -> &mut dyn std::any::Any {
+                self
+            }
         }
         let mut client = DownloadClient::new(
             Ipv4Addr::new(10, 0, 0, 99), // nobody home
@@ -558,7 +568,11 @@ mod tests {
             SimDuration::from_millis(500),
         );
         let events = run_pair(&mut browser, &mut server, SimTime::from_secs(3));
-        assert!(browser.pages_tampered >= 2, "tampered: {}", browser.pages_tampered);
+        assert!(
+            browser.pages_tampered >= 2,
+            "tampered: {}",
+            browser.pages_tampered
+        );
         assert_eq!(browser.pages_ok, 0);
         assert!(events
             .iter()

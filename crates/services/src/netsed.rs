@@ -108,13 +108,7 @@ impl Netsed {
         ]
     }
 
-    fn shuttle(
-        &mut self,
-        now: SimTime,
-        host: &mut Host,
-        from: SocketHandle,
-        to: SocketHandle,
-    ) {
+    fn shuttle(&mut self, now: SimTime, host: &mut Host, from: SocketHandle, to: SocketHandle) {
         loop {
             let chunk = host.tcp_recv(from, 64 * 1024);
             if chunk.is_empty() {
@@ -190,7 +184,10 @@ mod tests {
 
     #[test]
     fn rewrite_within_one_chunk() {
-        let rules = vec![NetsedRule::new("href=file.tgz", "href=http://6.6.6.6/evil.tgz")];
+        let rules = vec![NetsedRule::new(
+            "href=file.tgz",
+            "href=http://6.6.6.6/evil.tgz",
+        )];
         let page = b"<a href=file.tgz>get it</a>";
         let (out, hits) = apply_rules(&rules, page);
         assert_eq!(hits, 1);

@@ -30,9 +30,7 @@ impl SiteContent {
 
     /// Look up a resource.
     pub fn get(&self, path: &str) -> Option<(&str, &Bytes)> {
-        self.routes
-            .get(path)
-            .map(|(ct, b)| (ct.as_str(), b))
+        self.routes.get(path).map(|(ct, b)| (ct.as_str(), b))
     }
 
     /// Number of resources.

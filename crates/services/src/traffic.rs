@@ -232,11 +232,7 @@ mod tests {
     const A: Ipv4Addr = Ipv4Addr::new(10, 0, 0, 1);
     const B: Ipv4Addr = Ipv4Addr::new(10, 0, 0, 2);
 
-    fn wire_run(
-        app_a: &mut dyn App,
-        app_b: &mut dyn App,
-        until: SimTime,
-    ) -> (Host, Host) {
+    fn wire_run(app_a: &mut dyn App, app_b: &mut dyn App, until: SimTime) -> (Host, Host) {
         let mut a = Host::new("a", SimRng::new(Seed(1)));
         let mut b = Host::new("b", SimRng::new(Seed(2)));
         a.add_iface(MacAddr::local(1), A, 24);

@@ -184,7 +184,10 @@ impl Histogram {
         if self.samples.is_empty() {
             return 0.0;
         }
-        self.samples.iter().copied().fold(f64::NEG_INFINITY, f64::max)
+        self.samples
+            .iter()
+            .copied()
+            .fold(f64::NEG_INFINITY, f64::max)
     }
 
     /// Nearest-rank quantile, `q` in `[0, 1]` (0.0 when empty).

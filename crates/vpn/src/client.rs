@@ -197,8 +197,7 @@ impl VpnClient {
                     let chunk = host.tcp_recv(sock, 256 * 1024);
                     self.tcp_rx.extend_from_slice(&chunk);
                     while self.tcp_rx.len() >= 4 {
-                        let len =
-                            u32::from_be_bytes(self.tcp_rx[..4].try_into().unwrap()) as usize;
+                        let len = u32::from_be_bytes(self.tcp_rx[..4].try_into().unwrap()) as usize;
                         if self.tcp_rx.len() < 4 + len {
                             break;
                         }
@@ -256,7 +255,12 @@ impl VpnClient {
 
     fn inject_inbound(&mut self, now: SimTime, host: &mut Host, packet: Vec<u8>) {
         let tun_mac = host.iface(self.cfg.tun_ifindex).mac;
-        let frame = EthFrame::new(tun_mac, self.cfg.tun_gateway_mac, ET_IPV4, Bytes::from(packet));
+        let frame = EthFrame::new(
+            tun_mac,
+            self.cfg.tun_gateway_mac,
+            ET_IPV4,
+            Bytes::from(packet),
+        );
         host.on_link_rx(now, self.cfg.tun_ifindex, &frame.encode());
     }
 }

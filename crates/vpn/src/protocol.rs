@@ -163,7 +163,13 @@ impl Message {
 }
 
 /// The handshake transcript both authenticators bind to.
-pub fn transcript(client_id: u32, nonce_c: &[u8; 16], nonce_s: &[u8; 16], pub_c: &[u8], pub_s: &[u8]) -> Vec<u8> {
+pub fn transcript(
+    client_id: u32,
+    nonce_c: &[u8; 16],
+    nonce_s: &[u8; 16],
+    pub_c: &[u8],
+    pub_s: &[u8],
+) -> Vec<u8> {
     let mut t = Vec::with_capacity(4 + 32 + 2 * ELEMENT_LEN);
     t.extend_from_slice(&client_id.to_be_bytes());
     t.extend_from_slice(nonce_c);
@@ -385,10 +391,7 @@ mod tests {
             unreachable!()
         };
         assert_ne!(&ciphertext[..], b"client to server");
-        assert_eq!(
-            s.open(seq, &tag, &ciphertext).unwrap(),
-            b"client to server"
-        );
+        assert_eq!(s.open(seq, &tag, &ciphertext).unwrap(), b"client to server");
 
         let m = s.seal(b"server to client");
         let Message::Data {
@@ -399,10 +402,7 @@ mod tests {
         else {
             unreachable!()
         };
-        assert_eq!(
-            c.open(seq, &tag, &ciphertext).unwrap(),
-            b"server to client"
-        );
+        assert_eq!(c.open(seq, &tag, &ciphertext).unwrap(), b"server to client");
     }
 
     #[test]

@@ -234,12 +234,8 @@ impl VpnServer {
                     }
                     self.records_in += 1;
                     let tun_mac = host.iface(self.cfg.tun_ifindex).mac;
-                    let frame = EthFrame::new(
-                        tun_mac,
-                        self.cfg.tun_peer_mac,
-                        ET_IPV4,
-                        Bytes::from(packet),
-                    );
+                    let frame =
+                        EthFrame::new(tun_mac, self.cfg.tun_peer_mac, ET_IPV4, Bytes::from(packet));
                     host.on_link_rx(now, self.cfg.tun_ifindex, &frame.encode());
                 }
             }
@@ -521,12 +517,7 @@ mod tests {
                 .encode(Ipv4Addr::new(10, 8, 0, 99), SERVER_TUN_IP),
         );
         let tun_mac = r.client_host.iface(r.client_tun).mac;
-        let frame = EthFrame::new(
-            tun_mac,
-            MacAddr::local(102),
-            ET_IPV4,
-            evil.encode(),
-        );
+        let frame = EthFrame::new(tun_mac, MacAddr::local(102), ET_IPV4, evil.encode());
         // Push it through the client's sealer (a compromised app on the
         // victim could do this): the endpoint must refuse the spoof.
         r.client

@@ -1,0 +1,208 @@
+//! Wired-side ARP spoof detection.
+//!
+//! The paper's §5 rogue bridges wireless victims onto the wired LAN by
+//! rewriting ARP bindings; cache poisoners do the same to splice into a
+//! path. Both leave the same wire evidence, which this detector tracks
+//! from the span-port sensor:
+//!
+//! * a **binding conflict** — an IP previously claimed by one hardware
+//!   address is suddenly claimed by another,
+//! * a **gratuitous burst** — repeated unsolicited is-at replies, the
+//!   shape poisoners use to keep victim caches warm.
+
+use std::collections::{HashMap, HashSet};
+
+use rogue_dot11::MacAddr;
+use rogue_netstack::Ipv4Addr;
+use rogue_sim::{SimDuration, SimTime};
+
+use crate::detector::{AlertKind, Detector, RawAlert};
+use crate::event::SensorEvent;
+
+/// Spoof tuning.
+#[derive(Clone, Debug)]
+pub struct ArpSpoofConfig {
+    /// Gratuitous replies from one source within
+    /// [`ArpSpoofConfig::window`] needed for a burst alert.
+    pub gratuitous_threshold: u32,
+    /// Sliding window for the gratuitous-burst count.
+    pub window: SimDuration,
+}
+
+impl Default for ArpSpoofConfig {
+    fn default() -> Self {
+        ArpSpoofConfig {
+            gratuitous_threshold: 4,
+            window: SimDuration::from_secs(5),
+        }
+    }
+}
+
+/// The ARP spoof detector.
+pub struct ArpSpoofDetector {
+    cfg: ArpSpoofConfig,
+    /// Learned IP -> hardware bindings, first claim wins.
+    bindings: HashMap<Ipv4Addr, MacAddr>,
+    alerted_conflicts: HashSet<(Ipv4Addr, MacAddr)>,
+    gratuitous: HashMap<MacAddr, Vec<SimTime>>,
+    alerted_bursts: HashSet<MacAddr>,
+    /// ARP packets inspected.
+    pub arps_seen: u64,
+}
+
+impl ArpSpoofDetector {
+    /// Detector with the given tuning.
+    pub fn new(cfg: ArpSpoofConfig) -> ArpSpoofDetector {
+        ArpSpoofDetector {
+            cfg,
+            bindings: HashMap::new(),
+            alerted_conflicts: HashSet::new(),
+            gratuitous: HashMap::new(),
+            alerted_bursts: HashSet::new(),
+            arps_seen: 0,
+        }
+    }
+
+    /// Pre-seed a trusted IP -> MAC binding (from the site inventory),
+    /// so the first spoofed claim conflicts instead of being learned.
+    pub fn trust(&mut self, ip: Ipv4Addr, mac: MacAddr) {
+        self.bindings.insert(ip, mac);
+    }
+}
+
+impl Default for ArpSpoofDetector {
+    fn default() -> Self {
+        ArpSpoofDetector::new(ArpSpoofConfig::default())
+    }
+}
+
+impl Detector for ArpSpoofDetector {
+    fn name(&self) -> &'static str {
+        "arp-spoof"
+    }
+
+    fn on_event(&mut self, ev: &SensorEvent, out: &mut Vec<RawAlert>) {
+        let SensorEvent::Arp(e) = ev else { return };
+        self.arps_seen += 1;
+        // Binding conflict: the claim under scrutiny is sender_ip is-at
+        // sender_mac, regardless of op (requests leak bindings too).
+        match self.bindings.get(&e.sender_ip) {
+            None => {
+                self.bindings.insert(e.sender_ip, e.sender_mac);
+            }
+            Some(&bound) if bound != e.sender_mac => {
+                if self.alerted_conflicts.insert((e.sender_ip, e.sender_mac)) {
+                    out.push(RawAlert {
+                        at: e.at,
+                        detector: "arp-spoof",
+                        subject: e.sender_mac,
+                        kind: AlertKind::ArpSpoof,
+                        weight: 0.9,
+                        detail: format!(
+                            "{} rebound from {bound} to {} ({:?})",
+                            e.sender_ip, e.sender_mac, e.op
+                        ),
+                    });
+                }
+            }
+            Some(_) => {}
+        }
+        // Gratuitous burst accounting.
+        if !e.gratuitous {
+            return;
+        }
+        let times = self.gratuitous.entry(e.src_mac).or_default();
+        times.push(e.at);
+        let window_start = SimTime(e.at.as_nanos().saturating_sub(self.cfg.window.as_nanos()));
+        times.retain(|&t| t >= window_start);
+        if times.len() as u32 >= self.cfg.gratuitous_threshold
+            && self.alerted_bursts.insert(e.src_mac)
+        {
+            out.push(RawAlert {
+                at: e.at,
+                detector: "arp-spoof",
+                subject: e.src_mac,
+                kind: AlertKind::ArpSpoof,
+                weight: 0.6,
+                detail: format!(
+                    "{} gratuitous replies within {}",
+                    times.len(),
+                    self.cfg.window
+                ),
+            });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::{ArpEvent, SensorId};
+    use rogue_netstack::arp::ArpOp;
+
+    fn reply(ms: u64, mac: MacAddr, ip: Ipv4Addr, gratuitous: bool) -> SensorEvent {
+        SensorEvent::Arp(ArpEvent {
+            sensor: SensorId(0),
+            at: SimTime::from_millis(ms),
+            src_mac: mac,
+            op: ArpOp::Reply,
+            sender_mac: mac,
+            sender_ip: ip,
+            target_ip: if gratuitous {
+                ip
+            } else {
+                Ipv4Addr::new(192, 168, 0, 1)
+            },
+            gratuitous,
+        })
+    }
+
+    #[test]
+    fn binding_conflict_alerts_once() {
+        let gw = Ipv4Addr::new(192, 168, 0, 254);
+        let mut d = ArpSpoofDetector::default();
+        let mut out = Vec::new();
+        d.on_event(&reply(0, MacAddr::local(1), gw, false), &mut out);
+        assert!(out.is_empty(), "first claim is learned");
+        d.on_event(&reply(100, MacAddr::local(66), gw, false), &mut out);
+        d.on_event(&reply(200, MacAddr::local(66), gw, false), &mut out);
+        assert_eq!(out.len(), 1, "{out:?}");
+        assert_eq!(out[0].kind, AlertKind::ArpSpoof);
+        assert_eq!(out[0].subject, MacAddr::local(66));
+        assert!((out[0].weight - 0.9).abs() < 1e-9);
+    }
+
+    #[test]
+    fn trusted_binding_conflicts_immediately() {
+        let gw = Ipv4Addr::new(192, 168, 0, 254);
+        let mut d = ArpSpoofDetector::default();
+        d.trust(gw, MacAddr::local(1));
+        let mut out = Vec::new();
+        d.on_event(&reply(0, MacAddr::local(66), gw, false), &mut out);
+        assert_eq!(out.len(), 1, "spoof of a trusted binding: {out:?}");
+    }
+
+    #[test]
+    fn gratuitous_burst_alerts() {
+        let ip = Ipv4Addr::new(192, 168, 0, 50);
+        let mut d = ArpSpoofDetector::default();
+        let mut out = Vec::new();
+        for i in 0..6u64 {
+            d.on_event(&reply(i * 500, MacAddr::local(66), ip, true), &mut out);
+        }
+        assert_eq!(out.len(), 1, "{out:?}");
+        assert!((out[0].weight - 0.6).abs() < 1e-9);
+    }
+
+    #[test]
+    fn stable_bindings_stay_silent() {
+        let mut d = ArpSpoofDetector::default();
+        let mut out = Vec::new();
+        for i in 0..20u64 {
+            let host = MacAddr::local((i % 4) + 1);
+            let ip = Ipv4Addr::new(192, 168, 0, (i % 4) as u8 + 1);
+            d.on_event(&reply(i * 100, host, ip, false), &mut out);
+        }
+        assert!(out.is_empty(), "{out:?}");
+    }
+}

@@ -1,0 +1,176 @@
+//! Beacon analysis: SSID clones and BSSID spoofs.
+//!
+//! The streaming counterpart of `rogue_detect::audit::SiteAuditor` —
+//! instead of digesting a finished sweep, it checks every beacon as it
+//! arrives against the administrator's AP registry ("good record
+//! keeping", §2.3 of the paper):
+//!
+//! * an **authorized BSSID** heard beaconing on a channel it is not
+//!   registered for is the Figure-1 cloned-BSSID rogue,
+//! * an **authorized SSID** advertised by an unregistered BSSID is an
+//!   evil twin inviting stations to roam.
+
+use std::collections::HashSet;
+
+use rogue_dot11::MacAddr;
+
+use crate::detector::{AlertKind, Detector, RawAlert};
+use crate::event::{Dot11Kind, SensorEvent};
+
+/// Registry-driven tuning.
+#[derive(Clone, Debug, Default)]
+pub struct BeaconConfig {
+    /// Authorized (BSSID, channel) pairs.
+    pub authorized: Vec<(MacAddr, u8)>,
+}
+
+impl BeaconConfig {
+    /// Registry with one authorized AP.
+    pub fn single_ap(bssid: MacAddr, channel: u8) -> BeaconConfig {
+        BeaconConfig {
+            authorized: vec![(bssid, channel)],
+        }
+    }
+}
+
+/// The beacon detector.
+pub struct BeaconDetector {
+    cfg: BeaconConfig,
+    /// SSIDs owned by registered APs (learned from beacons of authorized
+    /// BSSIDs on their registered channels).
+    owned_ssids: HashSet<String>,
+    alerted_spoof: HashSet<(MacAddr, u8)>,
+    alerted_clone: HashSet<(String, MacAddr)>,
+    /// Beacons inspected.
+    pub beacons_seen: u64,
+}
+
+impl BeaconDetector {
+    /// Detector over the given registry.
+    pub fn new(cfg: BeaconConfig) -> BeaconDetector {
+        BeaconDetector {
+            cfg,
+            owned_ssids: HashSet::new(),
+            alerted_spoof: HashSet::new(),
+            alerted_clone: HashSet::new(),
+            beacons_seen: 0,
+        }
+    }
+}
+
+impl Detector for BeaconDetector {
+    fn name(&self) -> &'static str {
+        "beacon-audit"
+    }
+
+    fn on_event(&mut self, ev: &SensorEvent, out: &mut Vec<RawAlert>) {
+        let SensorEvent::Dot11(e) = ev else { return };
+        let Dot11Kind::Beacon { ssid, .. } = &e.kind else {
+            return;
+        };
+        self.beacons_seen += 1;
+        let bssid_known = self.cfg.authorized.iter().any(|(b, _)| *b == e.bssid);
+        let pair_known = self
+            .cfg
+            .authorized
+            .iter()
+            .any(|(b, ch)| *b == e.bssid && *ch == e.channel);
+        if pair_known {
+            // A registered AP where it belongs: learn the SSID it owns.
+            self.owned_ssids.insert(ssid.clone());
+            return;
+        }
+        if bssid_known {
+            // Our BSSID, wrong channel: a clone on air.
+            if self.alerted_spoof.insert((e.bssid, e.channel)) {
+                out.push(RawAlert {
+                    at: e.at,
+                    detector: "beacon-audit",
+                    subject: e.bssid,
+                    kind: AlertKind::BssidSpoof,
+                    weight: 0.9,
+                    detail: format!(
+                        "authorized BSSID beaconing on unregistered channel {} (ssid {ssid:?})",
+                        e.channel
+                    ),
+                });
+            }
+            return;
+        }
+        // Unknown BSSID advertising a name we own: an evil twin.
+        if self.owned_ssids.contains(ssid) && self.alerted_clone.insert((ssid.clone(), e.bssid)) {
+            out.push(RawAlert {
+                at: e.at,
+                detector: "beacon-audit",
+                subject: e.bssid,
+                kind: AlertKind::SsidClone,
+                weight: 0.6,
+                detail: format!("unregistered BSSID advertising owned SSID {ssid:?}"),
+            });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::{Dot11Event, SensorId};
+    use rogue_sim::SimTime;
+
+    fn beacon(ms: u64, bssid: MacAddr, ssid: &str, channel: u8) -> SensorEvent {
+        SensorEvent::Dot11(Dot11Event {
+            sensor: SensorId(0),
+            at: SimTime::from_millis(ms),
+            channel,
+            rssi_dbm: -40.0,
+            ta: bssid,
+            ra: MacAddr::BROADCAST,
+            bssid,
+            seq: 0,
+            retry: false,
+            kind: Dot11Kind::Beacon {
+                ssid: ssid.into(),
+                claimed_channel: channel,
+                capability: 0,
+            },
+        })
+    }
+
+    #[test]
+    fn cloned_bssid_on_wrong_channel_alerts_once() {
+        let corp = MacAddr::local(1);
+        let mut d = BeaconDetector::new(BeaconConfig::single_ap(corp, 1));
+        let mut out = Vec::new();
+        d.on_event(&beacon(0, corp, "CORP", 1), &mut out);
+        assert!(out.is_empty(), "registered AP is fine");
+        d.on_event(&beacon(100, corp, "CORP", 6), &mut out);
+        d.on_event(&beacon(200, corp, "CORP", 6), &mut out);
+        assert_eq!(out.len(), 1, "one alert per (bssid, channel): {out:?}");
+        assert_eq!(out[0].kind, AlertKind::BssidSpoof);
+        assert_eq!(out[0].subject, corp);
+    }
+
+    #[test]
+    fn evil_twin_ssid_alerts() {
+        let corp = MacAddr::local(1);
+        let twin = MacAddr::local(9);
+        let mut d = BeaconDetector::new(BeaconConfig::single_ap(corp, 1));
+        let mut out = Vec::new();
+        d.on_event(&beacon(0, corp, "CORP", 1), &mut out);
+        d.on_event(&beacon(50, twin, "CORP", 11), &mut out);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].kind, AlertKind::SsidClone);
+        assert_eq!(out[0].subject, twin);
+    }
+
+    #[test]
+    fn unrelated_networks_ignored() {
+        let corp = MacAddr::local(1);
+        let cafe = MacAddr::local(7);
+        let mut d = BeaconDetector::new(BeaconConfig::single_ap(corp, 1));
+        let mut out = Vec::new();
+        d.on_event(&beacon(0, corp, "CORP", 1), &mut out);
+        d.on_event(&beacon(10, cafe, "CAFE", 11), &mut out);
+        assert!(out.is_empty(), "{out:?}");
+    }
+}

@@ -1,0 +1,142 @@
+//! Deauthentication-flood detection.
+//!
+//! Deauth is unauthenticated (the paper's §4 primitive), so a burst of
+//! deauthentication frames "from" one address is evidence of forgery —
+//! either an attacker breaking a sticky association or a containment
+//! system at work. Legitimate disconnects are rare and isolated; the
+//! detector counts deauths per claimed transmitter in a sliding window.
+
+use std::collections::HashMap;
+
+use rogue_dot11::MacAddr;
+use rogue_sim::{SimDuration, SimTime};
+
+use crate::detector::{AlertKind, Detector, RawAlert};
+use crate::event::{Dot11Kind, SensorEvent};
+
+/// Flood tuning.
+#[derive(Clone, Debug)]
+pub struct DeauthFloodConfig {
+    /// Deauths within [`DeauthFloodConfig::window`] needed to alert.
+    pub threshold: u32,
+    /// Sliding evidence window.
+    pub window: SimDuration,
+}
+
+impl Default for DeauthFloodConfig {
+    fn default() -> Self {
+        DeauthFloodConfig {
+            threshold: 5,
+            window: SimDuration::from_secs(2),
+        }
+    }
+}
+
+struct TaState {
+    times: Vec<SimTime>,
+    alerted: bool,
+}
+
+/// The flood detector.
+pub struct DeauthFloodDetector {
+    cfg: DeauthFloodConfig,
+    per_ta: HashMap<MacAddr, TaState>,
+    /// Deauth frames observed.
+    pub deauths_seen: u64,
+}
+
+impl DeauthFloodDetector {
+    /// Detector with the given tuning.
+    pub fn new(cfg: DeauthFloodConfig) -> DeauthFloodDetector {
+        DeauthFloodDetector {
+            cfg,
+            per_ta: HashMap::new(),
+            deauths_seen: 0,
+        }
+    }
+}
+
+impl Default for DeauthFloodDetector {
+    fn default() -> Self {
+        DeauthFloodDetector::new(DeauthFloodConfig::default())
+    }
+}
+
+impl Detector for DeauthFloodDetector {
+    fn name(&self) -> &'static str {
+        "deauth-flood"
+    }
+
+    fn on_event(&mut self, ev: &SensorEvent, out: &mut Vec<RawAlert>) {
+        let SensorEvent::Dot11(e) = ev else { return };
+        let Dot11Kind::Deauth { reason } = e.kind else {
+            return;
+        };
+        self.deauths_seen += 1;
+        let st = self.per_ta.entry(e.ta).or_insert(TaState {
+            times: Vec::new(),
+            alerted: false,
+        });
+        st.times.push(e.at);
+        let window_start = SimTime(e.at.as_nanos().saturating_sub(self.cfg.window.as_nanos()));
+        st.times.retain(|&t| t >= window_start);
+        if st.times.len() as u32 >= self.cfg.threshold && !st.alerted {
+            st.alerted = true;
+            out.push(RawAlert {
+                at: e.at,
+                detector: "deauth-flood",
+                subject: e.ta,
+                kind: AlertKind::DeauthFlood,
+                weight: 0.85,
+                detail: format!(
+                    "{} deauths within {} (last reason {reason})",
+                    st.times.len(),
+                    self.cfg.window
+                ),
+            });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::{Dot11Event, SensorId};
+
+    fn deauth(ms: u64, ta: MacAddr) -> SensorEvent {
+        SensorEvent::Dot11(Dot11Event {
+            sensor: SensorId(0),
+            at: SimTime::from_millis(ms),
+            channel: 1,
+            rssi_dbm: -40.0,
+            ta,
+            ra: MacAddr::local(50),
+            bssid: ta,
+            seq: 0,
+            retry: false,
+            kind: Dot11Kind::Deauth { reason: 7 },
+        })
+    }
+
+    #[test]
+    fn flood_alerts_once() {
+        let mut d = DeauthFloodDetector::default();
+        let mut out = Vec::new();
+        for i in 0..10u64 {
+            d.on_event(&deauth(i * 150, MacAddr::local(1)), &mut out);
+        }
+        assert_eq!(out.len(), 1, "{out:?}");
+        assert_eq!(out[0].kind, AlertKind::DeauthFlood);
+        assert_eq!(out[0].at, SimTime::from_millis(600), "fifth deauth");
+    }
+
+    #[test]
+    fn sparse_deauths_tolerated() {
+        let mut d = DeauthFloodDetector::default();
+        let mut out = Vec::new();
+        for i in 0..10u64 {
+            d.on_event(&deauth(i * 1000, MacAddr::local(1)), &mut out);
+        }
+        assert!(out.is_empty(), "one deauth per second is not a flood");
+    }
+}

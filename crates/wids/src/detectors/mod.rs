@@ -1,0 +1,21 @@
+//! The built-in detector suite.
+//!
+//! | detector | evidence | layer |
+//! |---|---|---|
+//! | [`seq::SeqControlDetector`] | interleaved / duplicate sequence counters, channel divergence | radio |
+//! | [`beacon::BeaconDetector`] | SSID clones and BSSID spoofs against an AP registry | radio |
+//! | [`deauth::DeauthFloodDetector`] | deauthentication floods | radio |
+//! | [`rssi::RssiSplitDetector`] | implausible RSSI swings behind one transmitter | radio |
+//! | [`arp::ArpSpoofDetector`] | conflicting / gratuitous ARP bindings | wired |
+
+pub mod arp;
+pub mod beacon;
+pub mod deauth;
+pub mod rssi;
+pub mod seq;
+
+pub use arp::ArpSpoofDetector;
+pub use beacon::BeaconDetector;
+pub use deauth::DeauthFloodDetector;
+pub use rssi::RssiSplitDetector;
+pub use seq::SeqControlDetector;

@@ -1,0 +1,185 @@
+//! Signal-strength consistency checking.
+//!
+//! Two radios sharing one MAC address rarely share one location: a
+//! sensor hears them at very different signal strengths, and the
+//! apparent RSSI behind the "single" transmitter flip-flops as their
+//! transmissions interleave. Shadowing makes individual readings noisy
+//! (the channel model draws per-link log-normal shadowing), so the
+//! detector demands *repeated* implausible swings inside a short window
+//! before alerting, and keeps its confidence weight modest — RSSI is
+//! corroborating evidence, not a conviction.
+
+use std::collections::HashMap;
+
+use rogue_dot11::MacAddr;
+use rogue_sim::{SimDuration, SimTime};
+
+use crate::detector::{AlertKind, Detector, RawAlert};
+use crate::event::{Dot11Kind, SensorEvent};
+
+/// Plausibility tuning.
+#[derive(Clone, Debug)]
+pub struct RssiSplitConfig {
+    /// Swing between consecutive readings (same TA, same sensor, same
+    /// channel) counted as implausible, in dB. Should sit well above the
+    /// channel's shadowing sigma; ~3 sigma plus margin.
+    pub swing_db: f64,
+    /// Implausible swings within [`RssiSplitConfig::window`] needed to
+    /// alert.
+    pub threshold: u32,
+    /// Sliding evidence window.
+    pub window: SimDuration,
+}
+
+impl Default for RssiSplitConfig {
+    fn default() -> Self {
+        RssiSplitConfig {
+            swing_db: 12.0,
+            threshold: 4,
+            window: SimDuration::from_secs(2),
+        }
+    }
+}
+
+struct TaState {
+    last_rssi: f64,
+    swings: Vec<SimTime>,
+    alerted: bool,
+}
+
+/// The signal-strength inconsistency detector.
+pub struct RssiSplitDetector {
+    cfg: RssiSplitConfig,
+    // Keyed by (ta, sensor, channel): comparing readings across sensors
+    // or channels would just measure geometry, not inconsistency.
+    per_ta: HashMap<(MacAddr, u16, u8), TaState>,
+}
+
+impl RssiSplitDetector {
+    /// Detector with the given tuning.
+    pub fn new(cfg: RssiSplitConfig) -> RssiSplitDetector {
+        RssiSplitDetector {
+            cfg,
+            per_ta: HashMap::new(),
+        }
+    }
+}
+
+impl Default for RssiSplitDetector {
+    fn default() -> Self {
+        RssiSplitDetector::new(RssiSplitConfig::default())
+    }
+}
+
+impl Detector for RssiSplitDetector {
+    fn name(&self) -> &'static str {
+        "rssi-split"
+    }
+
+    fn on_event(&mut self, ev: &SensorEvent, out: &mut Vec<RawAlert>) {
+        let SensorEvent::Dot11(e) = ev else { return };
+        if e.kind == Dot11Kind::Ack {
+            return; // no transmitter address to attribute the reading to
+        }
+        let key = (e.ta, e.sensor.0, e.channel);
+        let st = match self.per_ta.get_mut(&key) {
+            Some(st) => st,
+            None => {
+                self.per_ta.insert(
+                    key,
+                    TaState {
+                        last_rssi: e.rssi_dbm,
+                        swings: Vec::new(),
+                        alerted: false,
+                    },
+                );
+                return;
+            }
+        };
+        let swing = (e.rssi_dbm - st.last_rssi).abs();
+        st.last_rssi = e.rssi_dbm;
+        if swing < self.cfg.swing_db {
+            return;
+        }
+        st.swings.push(e.at);
+        let window_start = SimTime(e.at.as_nanos().saturating_sub(self.cfg.window.as_nanos()));
+        st.swings.retain(|&t| t >= window_start);
+        if st.swings.len() as u32 >= self.cfg.threshold && !st.alerted {
+            st.alerted = true;
+            out.push(RawAlert {
+                at: e.at,
+                detector: "rssi-split",
+                subject: e.ta,
+                kind: AlertKind::RssiInconsistent,
+                weight: 0.5,
+                detail: format!(
+                    "{} swings > {:.0} dB within {} on channel {}",
+                    st.swings.len(),
+                    self.cfg.swing_db,
+                    self.cfg.window,
+                    e.channel
+                ),
+            });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::{Dot11Event, SensorId};
+
+    fn data(ms: u64, rssi: f64) -> SensorEvent {
+        SensorEvent::Dot11(Dot11Event {
+            sensor: SensorId(0),
+            at: SimTime::from_millis(ms),
+            channel: 1,
+            rssi_dbm: rssi,
+            ta: MacAddr::local(1),
+            ra: MacAddr::local(2),
+            bssid: MacAddr::local(1),
+            seq: (ms % 4096) as u16,
+            retry: false,
+            kind: Dot11Kind::Data { protected: false },
+        })
+    }
+
+    #[test]
+    fn interleaved_positions_alert() {
+        let mut d = RssiSplitDetector::default();
+        let mut out = Vec::new();
+        // Two radios ~25 dB apart taking turns under one address.
+        for i in 0..12u64 {
+            let rssi = if i % 2 == 0 { -40.0 } else { -65.0 };
+            d.on_event(&data(i * 100, rssi), &mut out);
+        }
+        assert_eq!(out.len(), 1, "{out:?}");
+        assert_eq!(out[0].kind, AlertKind::RssiInconsistent);
+        assert_eq!(out[0].subject, MacAddr::local(1));
+    }
+
+    #[test]
+    fn shadowing_noise_tolerated() {
+        let mut d = RssiSplitDetector::default();
+        let mut out = Vec::new();
+        // +-4 dB wobble around -50: inside any plausible sigma.
+        for i in 0..50u64 {
+            let rssi = -50.0 + if i % 2 == 0 { 4.0 } else { -4.0 };
+            d.on_event(&data(i * 50, rssi), &mut out);
+        }
+        assert!(out.is_empty(), "{out:?}");
+    }
+
+    #[test]
+    fn one_outlier_is_not_enough() {
+        let mut d = RssiSplitDetector::default();
+        let mut out = Vec::new();
+        d.on_event(&data(0, -50.0), &mut out);
+        d.on_event(&data(10, -80.0), &mut out); // single deep fade
+        for i in 2..20u64 {
+            d.on_event(&data(i * 10, -50.0), &mut out);
+        }
+        // The recovery swing counts too, but 2 < threshold 4.
+        assert!(out.is_empty(), "{out:?}");
+    }
+}

@@ -1,0 +1,184 @@
+//! Sequence-control anomaly detection (Wright's MAC-spoof detector),
+//! generalized to the streaming [`Detector`] interface.
+//!
+//! The counter-tracking state machine itself lives in
+//! [`rogue_detect::seqmon::SeqMonitor`]; this adapter is how every
+//! caller now reaches it — one event at a time from the unified sensor
+//! stream, instead of post-hoc over a finished capture buffer.
+//!
+//! One refinement over the raw monitor: channel divergence is only
+//! evidence against an *AP* transmitter (a BSS cannot move channels
+//! without its stations noticing), while a client station hopping
+//! channels is just roaming. The adapter therefore suppresses
+//! divergence alerts for transmitters never seen acting as a BSSID.
+
+use std::collections::HashSet;
+
+use rogue_detect::seqmon::{SeqMonConfig, SeqMonitor};
+use rogue_detect::AlarmKind as SeqAlarmKind;
+use rogue_dot11::MacAddr;
+
+use crate::detector::{AlertKind, Detector, RawAlert};
+use crate::event::{Dot11Kind, SensorEvent};
+
+/// Streaming sequence-control monitor.
+pub struct SeqControlDetector {
+    monitor: SeqMonitor,
+    emitted: usize,
+    /// Transmitters seen with `ta == bssid` — AP-side radios, the only
+    /// subjects for which channel divergence is incriminating.
+    ap_tas: HashSet<MacAddr>,
+}
+
+impl SeqControlDetector {
+    /// Detector with the given tuning.
+    pub fn new(cfg: SeqMonConfig) -> SeqControlDetector {
+        SeqControlDetector {
+            monitor: SeqMonitor::new(cfg),
+            emitted: 0,
+            ap_tas: HashSet::new(),
+        }
+    }
+
+    /// Frames observed so far.
+    pub fn observed(&self) -> u64 {
+        self.monitor.observed
+    }
+}
+
+impl Default for SeqControlDetector {
+    fn default() -> Self {
+        SeqControlDetector::new(SeqMonConfig::default())
+    }
+}
+
+impl Detector for SeqControlDetector {
+    fn name(&self) -> &'static str {
+        "seq-control"
+    }
+
+    fn on_event(&mut self, ev: &SensorEvent, out: &mut Vec<RawAlert>) {
+        let SensorEvent::Dot11(e) = ev else { return };
+        if e.kind == Dot11Kind::Ack {
+            return; // no sequence counter, no transmitter address
+        }
+        if e.ta == e.bssid {
+            self.ap_tas.insert(e.ta);
+        }
+        self.monitor
+            .observe_frame(e.at, e.ta, e.seq, e.channel, e.retry);
+        // Surface any alarms the observation just raised.
+        for alarm in &self.monitor.alarms[self.emitted..] {
+            let (kind, weight) = match alarm.kind {
+                SeqAlarmKind::SequenceAnomaly => (AlertKind::SequenceAnomaly, 0.7),
+                SeqAlarmKind::ChannelDivergence if self.ap_tas.contains(&alarm.subject) => {
+                    (AlertKind::ChannelDivergence, 0.9)
+                }
+                // A client roaming across channels is not divergence
+                // evidence; SeqMonitor raises nothing else.
+                _ => continue,
+            };
+            out.push(RawAlert {
+                at: alarm.at,
+                detector: "seq-control",
+                subject: alarm.subject,
+                kind,
+                weight,
+                detail: alarm.detail.clone(),
+            });
+        }
+        self.emitted = self.monitor.alarms.len();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::{Dot11Event, SensorId};
+    use rogue_dot11::MacAddr;
+    use rogue_sim::SimTime;
+
+    fn frame(ms: u64, seq: u16, channel: u8) -> SensorEvent {
+        SensorEvent::Dot11(Dot11Event {
+            sensor: SensorId(0),
+            at: SimTime::from_millis(ms),
+            channel,
+            rssi_dbm: -40.0,
+            ta: MacAddr::local(1),
+            ra: MacAddr::BROADCAST,
+            bssid: MacAddr::local(1),
+            seq,
+            retry: false,
+            kind: Dot11Kind::Mgmt,
+        })
+    }
+
+    #[test]
+    fn interleaved_counters_raise_sequence_alerts() {
+        let mut d = SeqControlDetector::default();
+        let mut out = Vec::new();
+        let (mut a, mut b) = (100u16, 3000u16);
+        for i in 0..40u64 {
+            let seq = if i % 2 == 0 {
+                a += 1;
+                a
+            } else {
+                b += 1;
+                b
+            };
+            d.on_event(&frame(i * 50, seq % 4096, 1), &mut out);
+        }
+        assert!(out.iter().any(|a| a.kind == AlertKind::SequenceAnomaly));
+    }
+
+    #[test]
+    fn channel_divergence_is_immediate_and_strong() {
+        let mut d = SeqControlDetector::default();
+        let mut out = Vec::new();
+        d.on_event(&frame(0, 1, 1), &mut out);
+        d.on_event(&frame(10, 2, 6), &mut out);
+        let alert = out
+            .iter()
+            .find(|a| a.kind == AlertKind::ChannelDivergence)
+            .expect("divergence alert");
+        assert!(alert.weight > 0.8);
+        assert_eq!(alert.subject, MacAddr::local(1));
+    }
+
+    #[test]
+    fn roaming_client_does_not_diverge() {
+        // ta != bssid: a station moving from its old AP's channel to a
+        // new one. Roaming is legitimate — no divergence alert.
+        let mut d = SeqControlDetector::default();
+        let mut out = Vec::new();
+        let sta = MacAddr::local(50);
+        let mk = |ms: u64, seq: u16, channel: u8, bssid: MacAddr| {
+            SensorEvent::Dot11(Dot11Event {
+                sensor: SensorId(0),
+                at: SimTime::from_millis(ms),
+                channel,
+                rssi_dbm: -40.0,
+                ta: sta,
+                ra: bssid,
+                bssid,
+                seq,
+                retry: false,
+                kind: Dot11Kind::Data { protected: false },
+            })
+        };
+        d.on_event(&mk(0, 1, 1, MacAddr::local(1)), &mut out);
+        d.on_event(&mk(500, 2, 6, MacAddr::local(9)), &mut out);
+        assert!(out.is_empty(), "{out:?}");
+    }
+
+    #[test]
+    fn clean_counter_stays_silent() {
+        let mut d = SeqControlDetector::default();
+        let mut out = Vec::new();
+        for i in 0..300u64 {
+            d.on_event(&frame(i * 10, (i % 4096) as u16, 1), &mut out);
+        }
+        assert!(out.is_empty(), "{out:?}");
+        assert_eq!(d.observed(), 300);
+    }
+}

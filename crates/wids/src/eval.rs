@@ -1,0 +1,294 @@
+//! Ground-truth evaluation: precision, recall, detection latency.
+//!
+//! An experiment that scripts its attacks knows exactly what the WIDS
+//! *should* have found. Each scripted attack becomes a [`TruthLabel`];
+//! [`evaluate`] matches opened incidents against the labels:
+//!
+//! * an incident matching a label (category, optional subject, opened
+//!   inside the label's active window plus a grace period) is a **true
+//!   positive**, and its latency is `opened_at - label.start`;
+//! * an incident matching no label is a **false positive**;
+//! * a label no incident matched is a **false negative** (a miss).
+
+use rogue_dot11::MacAddr;
+use rogue_sim::{SimDuration, SimTime};
+
+use crate::correlate::{Incident, IncidentCategory};
+
+/// One scripted attack the WIDS is expected to catch.
+#[derive(Clone, Debug)]
+pub struct TruthLabel {
+    /// Expected incident category.
+    pub category: IncidentCategory,
+    /// Expected offending address, when the scenario pins one down
+    /// (`None` accepts any subject — e.g. a flooder forging many).
+    pub subject: Option<MacAddr>,
+    /// Attack start (latency baseline).
+    pub start: SimTime,
+    /// Attack end.
+    pub end: SimTime,
+}
+
+impl TruthLabel {
+    /// Label expecting `category` against `subject` over [start, end].
+    pub fn new(
+        category: IncidentCategory,
+        subject: Option<MacAddr>,
+        start: SimTime,
+        end: SimTime,
+    ) -> TruthLabel {
+        TruthLabel {
+            category,
+            subject,
+            start,
+            end,
+        }
+    }
+}
+
+/// Scored outcome of one evaluation run.
+#[derive(Clone, Debug, Default)]
+pub struct EvalOutcome {
+    /// Incidents matched to a label.
+    pub true_positives: u32,
+    /// Incidents matching no label.
+    pub false_positives: u32,
+    /// Labels no incident matched.
+    pub false_negatives: u32,
+    /// Detection latencies of the true positives, seconds.
+    pub latencies_secs: Vec<f64>,
+}
+
+impl EvalOutcome {
+    /// TP / (TP + FP); 1.0 when nothing was flagged.
+    pub fn precision(&self) -> f64 {
+        let flagged = self.true_positives + self.false_positives;
+        if flagged == 0 {
+            1.0
+        } else {
+            self.true_positives as f64 / flagged as f64
+        }
+    }
+
+    /// TP / (TP + FN); 1.0 when nothing was expected.
+    pub fn recall(&self) -> f64 {
+        let expected = self.true_positives + self.false_negatives;
+        if expected == 0 {
+            1.0
+        } else {
+            self.true_positives as f64 / expected as f64
+        }
+    }
+
+    /// Median detection latency in seconds, NaN when nothing matched.
+    pub fn median_latency_secs(&self) -> f64 {
+        if self.latencies_secs.is_empty() {
+            return f64::NAN;
+        }
+        let mut v = self.latencies_secs.clone();
+        v.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let mid = v.len() / 2;
+        if v.len() % 2 == 1 {
+            v[mid]
+        } else {
+            (v[mid - 1] + v[mid]) / 2.0
+        }
+    }
+
+    /// Fold another run's counts into this one.
+    pub fn merge(&mut self, other: &EvalOutcome) {
+        self.true_positives += other.true_positives;
+        self.false_positives += other.false_positives;
+        self.false_negatives += other.false_negatives;
+        self.latencies_secs.extend_from_slice(&other.latencies_secs);
+    }
+}
+
+/// Does this incident satisfy this label?
+fn matches(inc: &Incident, label: &TruthLabel, grace: SimDuration) -> bool {
+    if inc.category != label.category {
+        return false;
+    }
+    if let Some(subject) = label.subject {
+        if inc.subject != subject {
+            return false;
+        }
+    }
+    // Opened while the attack was active (grace absorbs windowed
+    // detectors crossing their threshold just after the attack stops).
+    inc.opened_at >= label.start && inc.opened_at <= label.end + grace
+}
+
+/// Score `incidents` against the scripted ground truth.
+///
+/// Greedy earliest-first matching: each incident claims the first label
+/// it satisfies; each label is credited at most once (extra incidents on
+/// an already-matched label are neither TPs nor FPs — the detection
+/// already happened — but a *different-subject* duplicate finds no label
+/// and counts against precision).
+pub fn evaluate(incidents: &[Incident], labels: &[TruthLabel], grace: SimDuration) -> EvalOutcome {
+    let mut out = EvalOutcome::default();
+    let mut claimed = vec![false; labels.len()];
+    for inc in incidents {
+        let mut hit = None;
+        for (i, label) in labels.iter().enumerate() {
+            if matches(inc, label, grace) {
+                hit = Some(i);
+                if !claimed[i] {
+                    claimed[i] = true;
+                    out.true_positives += 1;
+                    out.latencies_secs
+                        .push(inc.opened_at.as_secs_f64() - label.start.as_secs_f64());
+                }
+                break;
+            }
+        }
+        if hit.is_none() {
+            out.false_positives += 1;
+        }
+    }
+    out.false_negatives = claimed.iter().filter(|&&c| !c).count() as u32;
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn incident(ms: u64, category: IncidentCategory, subject: MacAddr) -> Incident {
+        Incident {
+            id: 0,
+            category,
+            subject,
+            opened_at: SimTime::from_millis(ms),
+            last_evidence_at: SimTime::from_millis(ms),
+            score: 0.9,
+            alerts_fused: 1,
+            detectors: vec!["test"],
+        }
+    }
+
+    #[test]
+    fn perfect_run_scores_perfectly() {
+        let rogue = MacAddr::local(9);
+        let labels = [TruthLabel::new(
+            IncidentCategory::RogueAp,
+            Some(rogue),
+            SimTime::from_secs(2),
+            SimTime::from_secs(10),
+        )];
+        let incidents = [incident(2500, IncidentCategory::RogueAp, rogue)];
+        let out = evaluate(&incidents, &labels, SimDuration::ZERO);
+        assert_eq!(out.true_positives, 1);
+        assert_eq!(out.false_positives, 0);
+        assert_eq!(out.false_negatives, 0);
+        assert!((out.precision() - 1.0).abs() < 1e-9);
+        assert!((out.recall() - 1.0).abs() < 1e-9);
+        assert!((out.median_latency_secs() - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn unexpected_incident_is_a_false_positive() {
+        let incidents = [incident(
+            100,
+            IncidentCategory::DeauthFlood,
+            MacAddr::local(3),
+        )];
+        let out = evaluate(&incidents, &[], SimDuration::ZERO);
+        assert_eq!(out.false_positives, 1);
+        assert!((out.precision() - 0.0).abs() < 1e-9);
+        assert!((out.recall() - 1.0).abs() < 1e-9, "nothing was expected");
+    }
+
+    #[test]
+    fn missed_label_is_a_false_negative() {
+        let labels = [TruthLabel::new(
+            IncidentCategory::ArpSpoof,
+            None,
+            SimTime::from_secs(3),
+            SimTime::from_secs(10),
+        )];
+        let out = evaluate(&[], &labels, SimDuration::ZERO);
+        assert_eq!(out.false_negatives, 1);
+        assert!((out.recall() - 0.0).abs() < 1e-9);
+        assert!(out.median_latency_secs().is_nan());
+    }
+
+    #[test]
+    fn repeat_detection_of_one_attack_is_not_penalized() {
+        let rogue = MacAddr::local(9);
+        let labels = [TruthLabel::new(
+            IncidentCategory::RogueAp,
+            Some(rogue),
+            SimTime::from_secs(1),
+            SimTime::from_secs(10),
+        )];
+        let incidents = [
+            incident(1500, IncidentCategory::RogueAp, rogue),
+            incident(4000, IncidentCategory::RogueAp, rogue),
+        ];
+        let out = evaluate(&incidents, &labels, SimDuration::ZERO);
+        assert_eq!(out.true_positives, 1);
+        assert_eq!(out.false_positives, 0);
+    }
+
+    #[test]
+    fn wrong_subject_counts_against_precision() {
+        let rogue = MacAddr::local(9);
+        let labels = [TruthLabel::new(
+            IncidentCategory::RogueAp,
+            Some(rogue),
+            SimTime::from_secs(1),
+            SimTime::from_secs(10),
+        )];
+        let incidents = [incident(
+            1500,
+            IncidentCategory::RogueAp,
+            MacAddr::local(77),
+        )];
+        let out = evaluate(&incidents, &labels, SimDuration::ZERO);
+        assert_eq!(out.true_positives, 0);
+        assert_eq!(out.false_positives, 1);
+        assert_eq!(out.false_negatives, 1);
+    }
+
+    #[test]
+    fn grace_admits_detections_just_after_the_attack() {
+        let labels = [TruthLabel::new(
+            IncidentCategory::DeauthFlood,
+            None,
+            SimTime::from_secs(1),
+            SimTime::from_secs(2),
+        )];
+        let incidents = [incident(
+            2400,
+            IncidentCategory::DeauthFlood,
+            MacAddr::local(3),
+        )];
+        let strict = evaluate(&incidents, &labels, SimDuration::ZERO);
+        assert_eq!(strict.true_positives, 0);
+        let lax = evaluate(&incidents, &labels, SimDuration::from_millis(500));
+        assert_eq!(lax.true_positives, 1);
+    }
+
+    #[test]
+    fn merge_accumulates_counts() {
+        let mut a = EvalOutcome {
+            true_positives: 2,
+            false_positives: 1,
+            false_negatives: 0,
+            latencies_secs: vec![0.5, 1.0],
+        };
+        let b = EvalOutcome {
+            true_positives: 1,
+            false_positives: 0,
+            false_negatives: 1,
+            latencies_secs: vec![2.0],
+        };
+        a.merge(&b);
+        assert_eq!(a.true_positives, 3);
+        assert_eq!(a.false_negatives, 1);
+        assert!((a.median_latency_secs() - 1.0).abs() < 1e-9);
+        assert!((a.precision() - 0.75).abs() < 1e-9);
+    }
+}

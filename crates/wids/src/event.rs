@@ -1,0 +1,222 @@
+//! The unified sensor event stream.
+//!
+//! Every sensor — radio taps in monitor mode, wired span ports — digests
+//! what it captures into [`SensorEvent`]s and pushes them into a bounded
+//! [`SensorRing`]. Detectors never see raw frames: they consume this one
+//! normalized stream, which is what makes them pluggable across sensor
+//! types and scenarios.
+
+use std::collections::VecDeque;
+
+use rogue_dot11::MacAddr;
+use rogue_netstack::arp::ArpOp;
+use rogue_netstack::Ipv4Addr;
+use rogue_sim::SimTime;
+
+/// Identifies which sensor produced an event (dense, assigned by the
+/// pipeline at sensor registration).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct SensorId(pub u16);
+
+/// Digest of an 802.11 frame body, keeping only what detectors consume.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Dot11Kind {
+    /// Beacon or probe response advertising a BSS.
+    Beacon {
+        /// Advertised network name.
+        ssid: String,
+        /// Channel the DS parameter set claims.
+        claimed_channel: u8,
+        /// Capability field (privacy bit etc.).
+        capability: u16,
+    },
+    /// Deauthentication.
+    Deauth {
+        /// Reason code.
+        reason: u16,
+    },
+    /// Data frame.
+    Data {
+        /// WEP-protected?
+        protected: bool,
+    },
+    /// Any other management frame that carries a sequence counter.
+    Mgmt,
+    /// ACK control frame (no sequence counter, no addr2).
+    Ack,
+}
+
+/// One digested 802.11 capture.
+#[derive(Clone, Debug)]
+pub struct Dot11Event {
+    /// Producing sensor.
+    pub sensor: SensorId,
+    /// Capture time.
+    pub at: SimTime,
+    /// Channel the sensor was tuned to.
+    pub channel: u8,
+    /// Received signal strength, dBm.
+    pub rssi_dbm: f64,
+    /// Transmitter address (Addr2; zero for ACKs).
+    pub ta: MacAddr,
+    /// Receiver address (Addr1).
+    pub ra: MacAddr,
+    /// BSSID.
+    pub bssid: MacAddr,
+    /// Sequence-control counter (modulo 4096).
+    pub seq: u16,
+    /// Retry flag — retransmissions legitimately repeat `seq`.
+    pub retry: bool,
+    /// Body digest.
+    pub kind: Dot11Kind,
+}
+
+/// One ARP packet observed on a wired segment.
+#[derive(Clone, Debug)]
+pub struct ArpEvent {
+    /// Producing sensor.
+    pub sensor: SensorId,
+    /// Capture time.
+    pub at: SimTime,
+    /// Ethernet source address of the carrying frame.
+    pub src_mac: MacAddr,
+    /// Request or reply.
+    pub op: ArpOp,
+    /// Hardware address the packet claims for `sender_ip`.
+    pub sender_mac: MacAddr,
+    /// Protocol address being bound (the claim under scrutiny).
+    pub sender_ip: Ipv4Addr,
+    /// Target protocol address.
+    pub target_ip: Ipv4Addr,
+    /// Reply addressed to broadcast or to the claimed IP itself —
+    /// the gratuitous-ARP shapes cache poisoners use.
+    pub gratuitous: bool,
+}
+
+/// A normalized sensor observation.
+#[derive(Clone, Debug)]
+pub enum SensorEvent {
+    /// From a radio (monitor-mode) sensor.
+    Dot11(Dot11Event),
+    /// From a wired span-port sensor.
+    Arp(ArpEvent),
+}
+
+impl SensorEvent {
+    /// Capture timestamp.
+    pub fn at(&self) -> SimTime {
+        match self {
+            SensorEvent::Dot11(e) => e.at,
+            SensorEvent::Arp(e) => e.at,
+        }
+    }
+
+    /// Producing sensor.
+    pub fn sensor(&self) -> SensorId {
+        match self {
+            SensorEvent::Dot11(e) => e.sensor,
+            SensorEvent::Arp(e) => e.sensor,
+        }
+    }
+}
+
+/// Bounded event ring between sensors and the detection pipeline.
+///
+/// Pushes beyond capacity drop the *newest* event (tail drop, like a NIC
+/// ring under overrun) and count it, so a starved pipeline degrades
+/// detectably instead of growing without bound.
+pub struct SensorRing {
+    buf: VecDeque<SensorEvent>,
+    capacity: usize,
+    /// Events accepted over the ring's lifetime.
+    pub pushed: u64,
+    /// Events tail-dropped because the ring was full.
+    pub dropped: u64,
+}
+
+impl SensorRing {
+    /// Ring holding at most `capacity` undrained events.
+    pub fn new(capacity: usize) -> SensorRing {
+        assert!(capacity > 0, "ring capacity must be nonzero");
+        SensorRing {
+            buf: VecDeque::with_capacity(capacity.min(1024)),
+            capacity,
+            pushed: 0,
+            dropped: 0,
+        }
+    }
+
+    /// Push an event; returns false (and counts a drop) when full.
+    pub fn push(&mut self, ev: SensorEvent) -> bool {
+        if self.buf.len() >= self.capacity {
+            self.dropped += 1;
+            return false;
+        }
+        self.buf.push_back(ev);
+        self.pushed += 1;
+        true
+    }
+
+    /// Take every buffered event, oldest first.
+    pub fn drain(&mut self) -> Vec<SensorEvent> {
+        self.buf.drain(..).collect()
+    }
+
+    /// Undrained events currently buffered.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// True when nothing is buffered.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(ms: u64) -> SensorEvent {
+        SensorEvent::Dot11(Dot11Event {
+            sensor: SensorId(0),
+            at: SimTime::from_millis(ms),
+            channel: 1,
+            rssi_dbm: -40.0,
+            ta: MacAddr::local(1),
+            ra: MacAddr::BROADCAST,
+            bssid: MacAddr::local(1),
+            seq: 0,
+            retry: false,
+            kind: Dot11Kind::Mgmt,
+        })
+    }
+
+    #[test]
+    fn ring_preserves_order() {
+        let mut r = SensorRing::new(8);
+        for i in 0..5 {
+            assert!(r.push(ev(i)));
+        }
+        let out = r.drain();
+        assert_eq!(out.len(), 5);
+        assert!(out.windows(2).all(|w| w[0].at() <= w[1].at()));
+        assert!(r.is_empty());
+        assert_eq!(r.pushed, 5);
+    }
+
+    #[test]
+    fn ring_tail_drops_when_full() {
+        let mut r = SensorRing::new(3);
+        for i in 0..5 {
+            r.push(ev(i));
+        }
+        assert_eq!(r.len(), 3);
+        assert_eq!(r.dropped, 2);
+        assert_eq!(r.pushed, 3);
+        // The oldest three survived.
+        let out = r.drain();
+        assert_eq!(out[0].at(), SimTime::from_millis(0));
+        assert_eq!(out[2].at(), SimTime::from_millis(2));
+    }
+}

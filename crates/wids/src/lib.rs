@@ -1,0 +1,47 @@
+//! rogue-wids: a streaming wireless intrusion detection subsystem.
+//!
+//! The paper's countermeasures chapter assumes an administrator who
+//! *notices* the rogue — good record keeping, a site auditor walking the
+//! halls, a wired-side MAC census. This crate turns those one-shot
+//! audits into an always-on pipeline over the live simulation:
+//!
+//! ```text
+//!  radio sniffers ──> RadioSensor ─┐
+//!                                  ├─> SensorRing ─> Detector suite ─> Correlator ─> Incidents
+//!  switch span ────> WiredSensor ──┘    (bounded)     (5 built-in)     (dedup+fuse)    (scored)
+//! ```
+//!
+//! * [`event`] — the unified [`event::SensorEvent`] stream and the
+//!   bounded, drop-counting [`event::SensorRing`] between sensors and
+//!   the pipeline.
+//! * [`sensors`] — taps that digest capture substrates into events:
+//!   [`sensors::RadioSensor`] over monitor-mode sniffer buffers,
+//!   [`sensors::WiredSensor`] over a switch span port.
+//! * [`detector`] — the pluggable [`detector::Detector`] trait and
+//!   [`detector::RawAlert`] evidence type.
+//! * [`detectors`] — the built-in suite: sequence-control anomalies,
+//!   beacon/BSSID auditing, deauth floods, RSSI consistency, ARP spoof.
+//! * [`correlate`] — dedup and noisy-or fusion of raw alerts into
+//!   scored [`correlate::Incident`]s.
+//! * [`eval`] — precision / recall / latency scoring against scripted
+//!   ground truth, for the E10 harness.
+//! * [`pipeline`] — [`pipeline::WidsPipeline`] wiring it all together,
+//!   stepped in lockstep with the simulation.
+
+pub mod correlate;
+pub mod detector;
+pub mod detectors;
+pub mod eval;
+pub mod event;
+pub mod pipeline;
+pub mod sensors;
+
+pub use correlate::{Correlator, CorrelatorConfig, Incident, IncidentCategory};
+pub use detector::{AlertKind, Detector, RawAlert};
+pub use detectors::{
+    ArpSpoofDetector, BeaconDetector, DeauthFloodDetector, RssiSplitDetector, SeqControlDetector,
+};
+pub use eval::{evaluate, EvalOutcome, TruthLabel};
+pub use event::{ArpEvent, Dot11Event, Dot11Kind, SensorEvent, SensorId, SensorRing};
+pub use pipeline::{WidsConfig, WidsPipeline};
+pub use sensors::{RadioSensor, WiredSensor};

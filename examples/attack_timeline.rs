@@ -39,9 +39,11 @@ fn main() {
     for (t, node, e) in &sc.world.mac_events {
         let who = sc.world.node_name(*node);
         let line = match e {
-            MacEvent::Associated { bssid, channel, rssi_dbm } => format!(
-                "{who}: ASSOCIATED to {bssid} on ch {channel} ({rssi_dbm:.0} dBm)"
-            ),
+            MacEvent::Associated {
+                bssid,
+                channel,
+                rssi_dbm,
+            } => format!("{who}: ASSOCIATED to {bssid} on ch {channel} ({rssi_dbm:.0} dBm)"),
             MacEvent::Disassociated { bssid, forced } => format!(
                 "{who}: lost association to {bssid}{}",
                 if *forced { "  ← FORGED DEAUTH" } else { "" }
@@ -66,7 +68,11 @@ fn main() {
                 "{who}: DOWNLOAD DONE — link {:?}, from {:?}, md5 {} ({} bytes)",
                 o.link.as_deref().unwrap_or("-"),
                 o.file_server,
-                if o.verified { "VERIFIED ✓ (fooled)" } else { "mismatch" },
+                if o.verified {
+                    "VERIFIED ✓ (fooled)"
+                } else {
+                    "mismatch"
+                },
                 o.file_len,
             ),
             AppEvent::PageFetched { tampered, .. } => {

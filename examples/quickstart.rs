@@ -34,10 +34,22 @@ fn main() {
             .map(|ip| ip.to_string())
             .unwrap_or_else(|| "-".into())
     );
-    println!("victim received the trojan         : {}", r.victim_got_trojan);
-    println!("victim's MD5 verification passed   : {}", r.md5_check_passed);
-    println!("netsed replacements on the gateway : {}", r.netsed_replacements);
-    println!("download duration                  : {:.2} s", r.download_secs);
+    println!(
+        "victim received the trojan         : {}",
+        r.victim_got_trojan
+    );
+    println!(
+        "victim's MD5 verification passed   : {}",
+        r.md5_check_passed
+    );
+    println!(
+        "netsed replacements on the gateway : {}",
+        r.netsed_replacements
+    );
+    println!(
+        "download duration                  : {:.2} s",
+        r.download_secs
+    );
 
     if r.victim_got_trojan && r.md5_check_passed {
         println!(

@@ -49,7 +49,10 @@ fn main() {
     match snort.crack(5) {
         CrackOutcome::Recovered(k) => {
             println!("recovered key bytes               : {:02x?}", k.bytes());
-            println!("matches the network key           : {}", k.bytes() == key.bytes());
+            println!(
+                "matches the network key           : {}",
+                k.bytes() == key.bytes()
+            );
             println!("verified by decrypting a capture  : yes (ICV check)\n");
         }
         other => println!("crack failed: {other:?}\n"),

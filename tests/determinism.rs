@@ -3,6 +3,7 @@
 //! EXPERIMENTS.md records concrete numbers; these tests guarantee that
 //! re-running the harness regenerates them bit for bit.
 
+use rogue_core::experiments::e10_wids::{run_wids_once, WidsScenario};
 use rogue_core::experiments::e2_download::{run_download_mitm, DownloadMitmConfig};
 use rogue_core::scenario::{build_corp, CorpScenarioCfg};
 use rogue_dot11::output::MacEvent;
@@ -65,12 +66,36 @@ fn experiment_results_are_reproducible() {
 }
 
 #[test]
+fn wids_incidents_are_reproducible() {
+    // The full pipeline — multi-sensor batching, correlation, scoring —
+    // must be a pure function of the master seed.
+    for scenario in [WidsScenario::RogueApDeauth, WidsScenario::ArpSpoof] {
+        let a = run_wids_once(scenario, Seed(0xE10));
+        let b = run_wids_once(scenario, Seed(0xE10));
+        assert_eq!(
+            a.incident_log, b.incident_log,
+            "{scenario:?}: identical seeds must open identical incidents"
+        );
+        assert_eq!(a.events, b.events);
+        assert_eq!(a.eval.true_positives, b.eval.true_positives);
+        assert_eq!(a.eval.false_positives, b.eval.false_positives);
+        assert_eq!(a.eval.false_negatives, b.eval.false_negatives);
+        assert_eq!(a.eval.latencies_secs, b.eval.latencies_secs);
+    }
+}
+
+#[test]
 fn association_events_are_ordered() {
     let cfg = CorpScenarioCfg::paper_attack();
     let mut sc = build_corp(&cfg, Seed(9));
     sc.world.run_until(SimTime::from_secs(5));
     // Events must come out in nondecreasing time order.
-    let times: Vec<u64> = sc.world.mac_events.iter().map(|(t, _, _)| t.as_nanos()).collect();
+    let times: Vec<u64> = sc
+        .world
+        .mac_events
+        .iter()
+        .map(|(t, _, _)| t.as_nanos())
+        .collect();
     assert!(times.windows(2).all(|w| w[0] <= w[1]));
     // And the victim must associate before any client shows up on the
     // rogue AP (causality).

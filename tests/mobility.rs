@@ -39,7 +39,9 @@ fn walking_out_of_coverage_hands_victim_to_the_rogue() {
     let gw = sc.gateway.as_ref().map(|g| (g.node, g.rogue_ap_radio));
     let (gw_node, rogue_radio) = gw.expect("rogue deployed");
     assert!(
-        !sc.world.ap(gw_node, rogue_radio).is_associated(victim_mac()),
+        !sc.world
+            .ap(gw_node, rogue_radio)
+            .is_associated(victim_mac()),
         "starts on the valid AP"
     );
 
@@ -57,7 +59,9 @@ fn walking_out_of_coverage_hands_victim_to_the_rogue() {
     sc.world.run_until(now + SimDuration::from_secs(5));
 
     assert!(
-        sc.world.ap(gw_node, rogue_radio).is_associated(victim_mac()),
+        sc.world
+            .ap(gw_node, rogue_radio)
+            .is_associated(victim_mac()),
         "movement alone must hand the victim to the rogue"
     );
     // And it was a natural (beacon-loss) transition, not a forced one.
@@ -93,7 +97,9 @@ fn returning_home_reverses_the_handover() {
     let gw = sc.gateway.as_ref().map(|g| (g.node, g.rogue_ap_radio));
     let (gw_node, rogue_radio) = gw.expect("rogue deployed");
     assert!(
-        sc.world.ap(gw_node, rogue_radio).is_associated(victim_mac()),
+        sc.world
+            .ap(gw_node, rogue_radio)
+            .is_associated(victim_mac()),
         "starts on the rogue (valid AP out of range)"
     );
 

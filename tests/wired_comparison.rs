@@ -48,7 +48,10 @@ fn wired_arp_spoof_mitm_intercepts_client_traffic() {
         .add_default(Ipv4Addr::new(10, 0, 0, 254), 0);
     let mut rng = SimRng::new(seed);
     let portal = download_portal(make_binary(&mut rng, 8 * 1024));
-    world.add_app(server, Box::new(HttpServerApp::new(80, portal.site.clone())));
+    world.add_app(
+        server,
+        Box::new(HttpServerApp::new(80, portal.site.clone())),
+    );
 
     // The attacker: an ordinary machine ALREADY INSIDE the LAN,
     // forwarding and claiming the gateway's IP toward the victim.
@@ -128,7 +131,10 @@ fn without_poisoning_the_attacker_sees_nothing() {
         .add_default(Ipv4Addr::new(10, 0, 0, 254), 0);
     let mut rng = SimRng::new(seed);
     let portal = download_portal(make_binary(&mut rng, 8 * 1024));
-    world.add_app(server, Box::new(HttpServerApp::new(80, portal.site.clone())));
+    world.add_app(
+        server,
+        Box::new(HttpServerApp::new(80, portal.site.clone())),
+    );
 
     // Attacker present but passive (the paper's §1.1: switched LANs
     // don't hand you other clients' traffic).
