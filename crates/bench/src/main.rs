@@ -6,6 +6,14 @@
 //!
 //! Prints the E1–E10 tables recorded in EXPERIMENTS.md. `reps` (default 5)
 //! controls Monte-Carlo replications per cell.
+//!
+//! Tables go to **stdout** and are bit-deterministic for a given `reps`
+//! (regardless of thread count — see DESIGN.md §9); wall-clock timing and
+//! the thread count go to **stderr**, so `harness 10 > harness_output.txt`
+//! captures a byte-stable record. Parallelism is controlled by
+//! `RAYON_NUM_THREADS`.
+
+use std::time::Instant;
 
 fn main() {
     let reps: usize = std::env::args()
@@ -14,12 +22,17 @@ fn main() {
         .unwrap_or(5);
     println!("Countering Rogues in Wireless Networks — reproduction harness");
     println!("replications per cell: {reps}\n");
-    let t0 = std::time::Instant::now();
-    for report in rogue_bench::all_reports(reps) {
-        println!("────────────────────────────────────────────────────────────");
-        println!("{}: {}", report.id, report.artifact);
-        println!("────────────────────────────────────────────────────────────");
-        println!("{}", report.body);
+    eprintln!("threads: {}", rayon::current_num_threads());
+    let t0 = Instant::now();
+    for build in rogue_bench::report_builders() {
+        let r0 = Instant::now();
+        let report = build(reps);
+        print!("{}", rogue_bench::render_report(&report));
+        eprintln!("[{}] {:.2} s", report.id, r0.elapsed().as_secs_f64());
     }
-    println!("total wall time: {:.1} s", t0.elapsed().as_secs_f64());
+    eprintln!(
+        "total wall time: {:.1} s on {} thread(s)",
+        t0.elapsed().as_secs_f64(),
+        rayon::current_num_threads()
+    );
 }

@@ -1,38 +1,70 @@
-//! Vendored stand-in for `rayon`'s parallel-iterator entry points.
+//! Vendored replacement for `rayon`'s parallel-iterator entry points,
+//! with a real multi-threaded executor.
 //!
-//! The sandbox has no registry access, so `par_iter()` and
-//! `into_par_iter()` here return ordinary sequential iterators. The
-//! experiment drivers were written so replication merging is associative
-//! and every world forks its own seed — results are bit-identical
-//! whether replications run in parallel or, as here, in order.
+//! The sandbox has no registry access, so this crate reimplements the
+//! slice of rayon the experiment drivers use — `par_iter()`,
+//! `into_par_iter()`, and the `map` / `filter` / `filter_map` /
+//! `collect` / `count` / `sum` / `with_min_len` adapters — on top of a
+//! lazily-initialized global `std::thread` pool ([`pool`]).
+//!
+//! **Determinism contract.** Results are collected in *input order*
+//! regardless of which worker finishes when, and reductions run
+//! sequentially over that ordered buffer. Combined with the drivers'
+//! per-replication `Seed::fork` streams, every experiment table is
+//! byte-identical whether it runs on 1 thread or N — the determinism
+//! suite (`tests/report_determinism.rs`) proves it.
+//!
+//! Thread count: `RAYON_NUM_THREADS` overrides the hardware default;
+//! [`with_num_threads`] pins it for a scope (tests, scaling benches).
 
-/// The traits the experiment drivers import.
+mod iter;
+pub mod pool;
+
+pub use pool::{current_num_threads, set_num_threads, with_num_threads};
+
+/// The traits and types the experiment drivers import.
 pub mod prelude {
+    pub use crate::iter::ParIter;
+
     /// `into_par_iter()` for any owned iterable (ranges, vectors).
-    pub trait IntoParallelIterator: IntoIterator + Sized {
-        /// Sequential stand-in for rayon's parallel iterator.
-        fn into_par_iter(self) -> Self::IntoIter {
-            self.into_iter()
+    pub trait IntoParallelIterator: Sized {
+        /// The element type.
+        type Item: Send;
+        /// Materialize the input and hand it to the parallel executor.
+        fn into_par_iter<'a>(self) -> ParIter<'a, Self::Item, Self::Item>
+        where
+            Self::Item: 'a;
+    }
+
+    impl<I: IntoIterator> IntoParallelIterator for I
+    where
+        I::Item: Send,
+    {
+        type Item = I::Item;
+        fn into_par_iter<'a>(self) -> ParIter<'a, I::Item, I::Item>
+        where
+            I::Item: 'a,
+        {
+            ParIter::from_vec(self.into_iter().collect())
         }
     }
 
-    impl<I: IntoIterator> IntoParallelIterator for I {}
-
     /// `par_iter()` for anything iterable by reference (slices, vectors).
     pub trait IntoParallelRefIterator<'data> {
-        /// The sequential iterator type.
-        type Iter: Iterator;
-        /// Sequential stand-in for rayon's borrowed parallel iterator.
-        fn par_iter(&'data self) -> Self::Iter;
+        /// The borrowed element type.
+        type Item: Send + 'data;
+        /// Parallel iterator over `&self`'s elements.
+        fn par_iter(&'data self) -> ParIter<'data, Self::Item, Self::Item>;
     }
 
     impl<'data, C: ?Sized + 'data> IntoParallelRefIterator<'data> for C
     where
         &'data C: IntoIterator,
+        <&'data C as IntoIterator>::Item: Send,
     {
-        type Iter = <&'data C as IntoIterator>::IntoIter;
-        fn par_iter(&'data self) -> Self::Iter {
-            self.into_iter()
+        type Item = <&'data C as IntoIterator>::Item;
+        fn par_iter(&'data self) -> ParIter<'data, Self::Item, Self::Item> {
+            ParIter::from_vec(self.into_iter().collect())
         }
     }
 }
@@ -48,5 +80,19 @@ mod tests {
         let v = vec![10, 20, 30];
         let sum: i32 = v.par_iter().sum();
         assert_eq!(sum, 60);
+    }
+
+    #[test]
+    fn adapter_chain_matches_sequential() {
+        let par: Vec<u64> = (0..1000u64)
+            .into_par_iter()
+            .filter(|&x| x % 3 == 0)
+            .filter_map(|x| (x % 2 == 0).then_some(x * 7))
+            .collect();
+        let seq: Vec<u64> = (0..1000u64)
+            .filter(|&x| x % 3 == 0)
+            .filter_map(|x| (x % 2 == 0).then_some(x * 7))
+            .collect();
+        assert_eq!(par, seq);
     }
 }

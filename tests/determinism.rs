@@ -3,8 +3,9 @@
 //! EXPERIMENTS.md records concrete numbers; these tests guarantee that
 //! re-running the harness regenerates them bit for bit.
 
-use rogue_core::experiments::e10_wids::{run_wids_once, WidsScenario};
+use rogue_core::experiments::e10_wids::{run_wids_once, wids_table, WidsScenario};
 use rogue_core::experiments::e2_download::{run_download_mitm, DownloadMitmConfig};
+use rogue_core::experiments::e4_wep::crack_curve;
 use rogue_core::scenario::{build_corp, CorpScenarioCfg};
 use rogue_dot11::output::MacEvent;
 use rogue_sim::{Seed, SimTime};
@@ -81,6 +82,59 @@ fn wids_incidents_are_reproducible() {
         assert_eq!(a.eval.false_positives, b.eval.false_positives);
         assert_eq!(a.eval.false_negatives, b.eval.false_negatives);
         assert_eq!(a.eval.latencies_secs, b.eval.latencies_secs);
+    }
+}
+
+#[test]
+fn parallel_replication_is_bit_identical_to_serial() {
+    // The drivers were written for this: every replication forks its own
+    // seed and all merges run over index-ordered buffers, so the thread
+    // count must be unobservable in the results — down to the f64 bits.
+    let serial = rayon::with_num_threads(1, || crack_curve(5, &[5, 40], 4, Seed(0xD47)));
+    for threads in [2, 4, 8] {
+        let parallel =
+            rayon::with_num_threads(threads, || crack_curve(5, &[5, 40], 4, Seed(0xD47)));
+        assert_eq!(serial.len(), parallel.len());
+        for (s, p) in serial.iter().zip(&parallel) {
+            assert_eq!(s.weak_ivs_per_position, p.weak_ivs_per_position);
+            assert_eq!(s.equivalent_frames, p.equivalent_frames);
+            assert_eq!(
+                s.success_rate.to_bits(),
+                p.success_rate.to_bits(),
+                "threads={threads}: success rate diverged at w={}",
+                s.weak_ivs_per_position
+            );
+        }
+    }
+}
+
+#[test]
+fn wids_table_is_bit_identical_across_thread_counts() {
+    // E10 exercises the deepest pipeline (sensors → ring → detectors →
+    // correlator); its table under forced parallelism must match serial.
+    let render = |rows: Vec<rogue_core::experiments::e10_wids::WidsRow>| {
+        rows.iter()
+            .map(|r| {
+                format!(
+                    "{}|{}|{}|{}|{}|{:?}|{}",
+                    r.scenario,
+                    r.reps,
+                    r.eval.true_positives,
+                    r.eval.false_positives,
+                    r.eval.false_negatives,
+                    r.eval.latencies_secs,
+                    r.ring_dropped
+                )
+            })
+            .collect::<Vec<_>>()
+            .join("\n")
+    };
+    let serial = render(rayon::with_num_threads(1, || wids_table(3, Seed(0xE10))));
+    for threads in [2, 4] {
+        let parallel = render(rayon::with_num_threads(threads, || {
+            wids_table(3, Seed(0xE10))
+        }));
+        assert_eq!(serial, parallel, "threads={threads}");
     }
 }
 

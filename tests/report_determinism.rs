@@ -1,0 +1,34 @@
+//! Parallel ≡ serial, proven at the artifact level: every rendered
+//! experiment report must be byte-identical under a 1-thread, 2-thread,
+//! and N-thread pool. This is the determinism contract the executor and
+//! the drivers were built around — per-replication `Seed::fork` streams
+//! plus index-ordered result collection make the thread count
+//! unobservable in every table.
+
+use rogue_bench::{render_report, report_builders};
+
+#[test]
+fn every_report_is_byte_identical_across_thread_counts() {
+    let reps = 2;
+    let serial: Vec<String> = rayon::with_num_threads(1, || {
+        report_builders()
+            .iter()
+            .map(|build| render_report(&build(reps)))
+            .collect()
+    });
+    assert_eq!(serial.len(), 10, "one rendered table per experiment");
+    for threads in [2, 4] {
+        let parallel: Vec<String> = rayon::with_num_threads(threads, || {
+            report_builders()
+                .iter()
+                .map(|build| render_report(&build(reps)))
+                .collect()
+        });
+        for (serial_report, parallel_report) in serial.iter().zip(&parallel) {
+            assert_eq!(
+                serial_report, parallel_report,
+                "report diverged between 1 and {threads} threads"
+            );
+        }
+    }
+}
