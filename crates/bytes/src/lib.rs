@@ -4,9 +4,9 @@
 //! the handful of `bytes` APIs the codecs rely on are reimplemented here
 //! behind the same names: [`Bytes`] (cheaply clonable, sliceable,
 //! immutable), [`BytesMut`] (a growable builder) and [`BufMut`] (the
-//! `put_*` appenders). Semantics match the real crate for this subset;
-//! `from_static` copies instead of borrowing, which only costs a small
-//! allocation at startup.
+//! `put_*` appenders). Semantics match the real crate for this subset,
+//! including a genuinely zero-copy `from_static` (borrows the static
+//! slice; no allocation).
 
 use std::borrow::Borrow;
 use std::fmt;
@@ -14,25 +14,45 @@ use std::hash::{Hash, Hasher};
 use std::ops::{Bound, Deref, RangeBounds};
 use std::sync::Arc;
 
+/// Backing storage: refcounted heap allocation or borrowed static data.
+#[derive(Clone)]
+enum Repr {
+    Shared(Arc<[u8]>),
+    Static(&'static [u8]),
+}
+
+impl Repr {
+    fn as_slice(&self) -> &[u8] {
+        match self {
+            Repr::Shared(a) => a,
+            Repr::Static(s) => s,
+        }
+    }
+}
+
 /// A cheaply clonable, immutable byte buffer. Clones and slices share
-/// one allocation.
+/// one allocation (or borrow the same static data) — payload bytes are
+/// never copied by `clone`/`slice`.
 #[derive(Clone)]
 pub struct Bytes {
-    data: Arc<[u8]>,
+    data: Repr,
     start: usize,
     end: usize,
 }
 
 impl Bytes {
-    /// An empty buffer.
+    /// An empty buffer (no allocation).
     pub fn new() -> Bytes {
-        Bytes::from_vec(Vec::new())
+        Bytes::from_static(&[])
     }
 
-    /// Buffer over a static slice (copied; the zero-copy optimisation of
-    /// the real crate is irrelevant at simulation scale).
+    /// Buffer borrowing a static slice — zero-copy, like the real crate.
     pub fn from_static(bytes: &'static [u8]) -> Bytes {
-        Bytes::from_vec(bytes.to_vec())
+        Bytes {
+            data: Repr::Static(bytes),
+            start: 0,
+            end: bytes.len(),
+        }
     }
 
     /// Buffer holding a copy of `data`.
@@ -43,7 +63,7 @@ impl Bytes {
     fn from_vec(v: Vec<u8>) -> Bytes {
         let end = v.len();
         Bytes {
-            data: Arc::from(v.into_boxed_slice()),
+            data: Repr::Shared(Arc::from(v.into_boxed_slice())),
             start: 0,
             end,
         }
@@ -73,7 +93,7 @@ impl Bytes {
         };
         assert!(lo <= hi && hi <= self.len(), "slice out of range");
         Bytes {
-            data: Arc::clone(&self.data),
+            data: self.data.clone(),
             start: self.start + lo,
             end: self.start + hi,
         }
@@ -94,7 +114,7 @@ impl Default for Bytes {
 impl Deref for Bytes {
     type Target = [u8];
     fn deref(&self) -> &[u8] {
-        &self.data[self.start..self.end]
+        &self.data.as_slice()[self.start..self.end]
     }
 }
 
@@ -375,5 +395,32 @@ mod tests {
         assert!(Bytes::new().is_empty());
         assert!(Bytes::default().is_empty());
         assert_eq!(Bytes::copy_from_slice(&[9]).to_vec(), vec![9]);
+    }
+
+    #[test]
+    fn clone_never_copies_payload() {
+        let b = Bytes::from(vec![7u8; 64]);
+        let c = b.clone();
+        assert_eq!(b.as_ptr(), c.as_ptr(), "clone must share the allocation");
+        let s = b.slice(8..32);
+        assert_eq!(
+            s.as_ptr(),
+            // Pointer arithmetic through the shared allocation.
+            unsafe { b.as_ptr().add(8) },
+            "slice must point into the parent allocation"
+        );
+        drop(b);
+        drop(c);
+        assert_eq!(&s[..4], &[7, 7, 7, 7], "slice keeps the allocation alive");
+    }
+
+    #[test]
+    fn from_static_is_zero_copy() {
+        static PAYLOAD: [u8; 16] = [3u8; 16];
+        let b = Bytes::from_static(&PAYLOAD);
+        assert_eq!(b.as_ptr(), PAYLOAD.as_ptr(), "must borrow, not copy");
+        let c = b.clone();
+        assert_eq!(c.as_ptr(), PAYLOAD.as_ptr());
+        assert_eq!(b.slice(4..).as_ptr(), PAYLOAD[4..].as_ptr());
     }
 }

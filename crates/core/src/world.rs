@@ -587,6 +587,12 @@ impl World {
                 }
             }
         }
+        // Mirror the medium's counters into the metrics sink so reports
+        // and tests read them the same way as the `mac.*` family.
+        self.metrics.set("phy.frames_sent", self.medium.frames_sent);
+        self.metrics
+            .set("phy.halfduplex_misses", self.medium.halfduplex_misses);
+        self.metrics.set("phy.sinr_drops", self.medium.sinr_drops);
     }
 
     fn receive_on_radio(

@@ -9,13 +9,19 @@
 //! weakness the paper alludes to ("WEP's weaknesses have long been
 //! legendary").
 
-/// Lazily built reflected CRC-32 table for polynomial 0xEDB88320.
-fn table() -> &'static [u32; 256] {
+/// Lazily built reflected CRC-32 tables for polynomial 0xEDB88320,
+/// "slicing-by-8" layout: `t[0]` is the classic byte-at-a-time table,
+/// `t[k][n]` extends it by `k` zero bytes so eight input bytes fold into
+/// the register with eight independent lookups per iteration. Same
+/// polynomial, same init/final constants — every CRC value is
+/// bit-identical to the byte-at-a-time loop, just ~5x faster on the
+/// per-monitor FCS checks that dominate dense-capture runs.
+fn tables() -> &'static [[u32; 256]; 8] {
     use std::sync::OnceLock;
-    static TABLE: OnceLock<[u32; 256]> = OnceLock::new();
-    TABLE.get_or_init(|| {
-        let mut t = [0u32; 256];
-        for (n, slot) in t.iter_mut().enumerate() {
+    static TABLES: OnceLock<[[u32; 256]; 8]> = OnceLock::new();
+    TABLES.get_or_init(|| {
+        let mut t = [[0u32; 256]; 8];
+        for (n, slot) in t[0].iter_mut().enumerate() {
             let mut c = n as u32;
             for _ in 0..8 {
                 c = if c & 1 != 0 {
@@ -25,6 +31,12 @@ fn table() -> &'static [u32; 256] {
                 };
             }
             *slot = c;
+        }
+        for k in 1..8 {
+            for n in 0..256 {
+                let prev = t[k - 1][n];
+                t[k][n] = t[0][(prev & 0xFF) as usize] ^ (prev >> 8);
+            }
         }
         t
     })
@@ -38,9 +50,22 @@ pub fn crc32(data: &[u8]) -> u32 {
 
 /// Streaming update on the *raw* (pre-final-XOR) register.
 pub fn update(mut state: u32, data: &[u8]) -> u32 {
-    let t = table();
-    for &b in data {
-        state = t[((state ^ b as u32) & 0xFF) as usize] ^ (state >> 8);
+    let t = tables();
+    let mut chunks = data.chunks_exact(8);
+    for c in &mut chunks {
+        let lo = u32::from_le_bytes([c[0], c[1], c[2], c[3]]) ^ state;
+        let hi = u32::from_le_bytes([c[4], c[5], c[6], c[7]]);
+        state = t[7][(lo & 0xFF) as usize]
+            ^ t[6][((lo >> 8) & 0xFF) as usize]
+            ^ t[5][((lo >> 16) & 0xFF) as usize]
+            ^ t[4][(lo >> 24) as usize]
+            ^ t[3][(hi & 0xFF) as usize]
+            ^ t[2][((hi >> 8) & 0xFF) as usize]
+            ^ t[1][((hi >> 16) & 0xFF) as usize]
+            ^ t[0][(hi >> 24) as usize];
+    }
+    for &b in chunks.remainder() {
+        state = t[0][((state ^ b as u32) & 0xFF) as usize] ^ (state >> 8);
     }
     state
 }
@@ -88,12 +113,7 @@ pub fn bitflip_patch(delta: &[u8], len: usize) -> u32 {
     let mut padded = vec![0u8; len];
     padded[..delta.len()].copy_from_slice(delta);
     // Raw register with init 0 over padded delta, no final xor:
-    let mut state = 0u32;
-    let t = table();
-    for &b in &padded {
-        state = t[((state ^ b as u32) & 0xFF) as usize] ^ (state >> 8);
-    }
-    state
+    update(0, &padded)
 }
 
 #[cfg(test)]
@@ -144,5 +164,32 @@ mod tests {
     #[test]
     fn bitflip_patch_zero_delta_is_zero() {
         assert_eq!(bitflip_patch(&[0, 0, 0], 10), 0);
+    }
+
+    #[test]
+    fn sliced_update_matches_bytewise_reference() {
+        // The slicing-by-8 fast path must be bit-identical to the
+        // canonical byte-at-a-time recurrence at every length, including
+        // the 0..8 remainder tail and non-default initial registers.
+        fn reference(mut state: u32, data: &[u8]) -> u32 {
+            let t = tables();
+            for &b in data {
+                state = t[0][((state ^ b as u32) & 0xFF) as usize] ^ (state >> 8);
+            }
+            state
+        }
+        let data: Vec<u8> = (0..257u32)
+            .map(|i| (i.wrapping_mul(37) >> 2) as u8)
+            .collect();
+        for len in 0..data.len() {
+            assert_eq!(
+                update(0xFFFF_FFFF, &data[..len]),
+                reference(0xFFFF_FFFF, &data[..len])
+            );
+            assert_eq!(
+                update(0x1234_5678, &data[..len]),
+                reference(0x1234_5678, &data[..len])
+            );
+        }
     }
 }

@@ -9,6 +9,7 @@
 
 use std::collections::HashSet;
 
+use bytes::Bytes;
 use rogue_dot11::MacAddr;
 use rogue_netstack::ethernet::EthFrame;
 use rogue_sim::SimTime;
@@ -42,7 +43,7 @@ impl WiredMonitor {
     }
 
     /// Inspect one wired frame.
-    pub fn inspect(&mut self, at: SimTime, frame_bytes: &[u8]) {
+    pub fn inspect(&mut self, at: SimTime, frame_bytes: &Bytes) {
         self.inspected += 1;
         let Some(eth) = EthFrame::decode(frame_bytes) else {
             return;
@@ -63,10 +64,8 @@ mod tests {
     use super::*;
     use bytes::Bytes;
 
-    fn frame(src: MacAddr) -> Vec<u8> {
-        EthFrame::new(MacAddr::BROADCAST, src, 0x0800, Bytes::from_static(b"x"))
-            .encode()
-            .to_vec()
+    fn frame(src: MacAddr) -> Bytes {
+        EthFrame::new(MacAddr::BROADCAST, src, 0x0800, Bytes::from_static(b"x")).encode()
     }
 
     #[test]
@@ -99,7 +98,7 @@ mod tests {
     #[test]
     fn garbage_ignored() {
         let mut m = WiredMonitor::new([]);
-        m.inspect(SimTime::ZERO, b"short");
+        m.inspect(SimTime::ZERO, &Bytes::from_static(b"short"));
         assert!(m.alarms.is_empty());
     }
 }

@@ -13,7 +13,9 @@ use rogue_phy::Bitrate;
 use rogue_sim::{SimDuration, SimRng, SimTime};
 
 use crate::addr::MacAddr;
-use crate::frame::{decode_llc, encode_llc, Frame, FrameBody, MgmtInfo, CAP_ESS, CAP_PRIVACY};
+use crate::frame::{
+    decode_llc, encode_llc, Frame, FrameBody, MgmtInfo, CAP_ESS, CAP_PRIVACY, LLC_SNAP_LEN,
+};
 use crate::output::{MacEvent, MacOutput};
 use crate::txq::TxQueue;
 
@@ -339,13 +341,15 @@ impl ApMac {
         if !frame.to_ds || !self.clients.contains_key(&frame.addr2) {
             return;
         }
-        let plain: Vec<u8> = if frame.protected {
+        // WEP genuinely decrypts into a fresh buffer; plaintext stays a
+        // zero-copy view of the receive allocation.
+        let plain: Bytes = if frame.protected {
             let Some(key) = &self.cfg.wep else {
                 self.wep_failures += 1;
                 return;
             };
             match wep::open(key, &payload) {
-                Ok(p) => p,
+                Ok(p) => Bytes::from(p),
                 Err(_) => {
                     self.wep_failures += 1;
                     out.push(MacOutput::Event(MacEvent::WepDecryptFailed {
@@ -358,9 +362,9 @@ impl ApMac {
             if self.cfg.wep.is_some() {
                 return;
             }
-            payload.to_vec()
+            payload
         };
-        let Some((ethertype, inner)) = decode_llc(&plain) else {
+        let Some((ethertype, _)) = decode_llc(&plain) else {
             return;
         };
         self.data_rx += 1;
@@ -368,7 +372,7 @@ impl ApMac {
             src: frame.sa(),
             dst: frame.da(),
             ethertype,
-            payload: Bytes::copy_from_slice(inner),
+            payload: plain.slice(LLC_SNAP_LEN..),
         });
     }
 

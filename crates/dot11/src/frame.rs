@@ -293,8 +293,9 @@ impl Frame {
         }
     }
 
-    /// Parse wire bytes, verifying the FCS.
-    pub fn decode(bytes: &[u8]) -> Result<Frame, FrameError> {
+    /// Parse wire bytes, verifying the FCS. Takes the refcounted buffer
+    /// (not a plain slice) so a data payload is a zero-copy view of it.
+    pub fn decode(bytes: &Bytes) -> Result<Frame, FrameError> {
         if bytes.len() < 2 + 2 + 6 + FCS_LEN {
             return Err(FrameError::Truncated);
         }
@@ -405,7 +406,9 @@ impl Frame {
                 }
             }
             (2, 0) => FrameBody::Data {
-                payload: Bytes::copy_from_slice(body),
+                // A view of the receive buffer — the whole point of
+                // threading `Bytes` down here.
+                payload: bytes.slice(HEADER_LEN..body_end),
             },
             _ => return Err(FrameError::Unsupported),
         };
@@ -649,7 +652,7 @@ mod tests {
         let mut bytes = f.encode().to_vec();
         let n = bytes.len();
         bytes[n - 1] ^= 0xFF;
-        assert_eq!(Frame::decode(&bytes), Err(FrameError::BadFcs));
+        assert_eq!(Frame::decode(&bytes.into()), Err(FrameError::BadFcs));
     }
 
     #[test]
@@ -657,12 +660,15 @@ mod tests {
         let f = Frame::new(a(1), a(2), a(3), FrameBody::Deauth { reason: 1 });
         let mut bytes = f.encode().to_vec();
         bytes[5] ^= 0x01; // flip an addr1 bit
-        assert_eq!(Frame::decode(&bytes), Err(FrameError::BadFcs));
+        assert_eq!(Frame::decode(&bytes.into()), Err(FrameError::BadFcs));
     }
 
     #[test]
     fn truncated_rejected() {
-        assert_eq!(Frame::decode(&[1, 2, 3]), Err(FrameError::Truncated));
+        assert_eq!(
+            Frame::decode(&Bytes::from_static(&[1, 2, 3])),
+            Err(FrameError::Truncated)
+        );
     }
 
     #[test]

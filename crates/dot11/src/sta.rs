@@ -18,7 +18,7 @@ use rogue_phy::Bitrate;
 use rogue_sim::{SimDuration, SimRng, SimTime};
 
 use crate::addr::MacAddr;
-use crate::frame::{decode_llc, encode_llc, Frame, FrameBody, CAP_ESS, CAP_PRIVACY};
+use crate::frame::{decode_llc, encode_llc, Frame, FrameBody, CAP_ESS, CAP_PRIVACY, LLC_SNAP_LEN};
 use crate::output::{MacEvent, MacOutput};
 use crate::txq::TxQueue;
 
@@ -421,13 +421,15 @@ impl StaMac {
         if self.state != StaState::Associated || Some(frame.bssid()) != self.bssid {
             return;
         }
-        let plain: Vec<u8> = if frame.protected {
+        // WEP genuinely decrypts into a fresh buffer; plaintext stays a
+        // zero-copy view of the receive allocation.
+        let plain: Bytes = if frame.protected {
             let Some(key) = &self.cfg.wep else {
                 self.wep_failures += 1;
                 return;
             };
             match wep::open(key, &payload) {
-                Ok(p) => p,
+                Ok(p) => Bytes::from(p),
                 Err(_) => {
                     self.wep_failures += 1;
                     out.push(MacOutput::Event(MacEvent::WepDecryptFailed {
@@ -441,9 +443,9 @@ impl StaMac {
                 // Cleartext data on a privacy BSS: drop.
                 return;
             }
-            payload.to_vec()
+            payload
         };
-        let Some((ethertype, inner)) = decode_llc(&plain) else {
+        let Some((ethertype, _)) = decode_llc(&plain) else {
             return;
         };
         self.data_rx += 1;
@@ -451,7 +453,7 @@ impl StaMac {
             src: frame.sa(),
             dst: frame.da(),
             ethertype,
-            payload: Bytes::copy_from_slice(inner),
+            payload: plain.slice(LLC_SNAP_LEN..),
         });
     }
 

@@ -45,8 +45,8 @@ impl EthFrame {
         buf.freeze()
     }
 
-    /// Parse wire bytes.
-    pub fn decode(bytes: &[u8]) -> Option<EthFrame> {
+    /// Parse wire bytes; the payload is a zero-copy view of `bytes`.
+    pub fn decode(bytes: &Bytes) -> Option<EthFrame> {
         if bytes.len() < HEADER_LEN {
             return None;
         }
@@ -54,7 +54,7 @@ impl EthFrame {
             dst: MacAddr(bytes[0..6].try_into().unwrap()),
             src: MacAddr(bytes[6..12].try_into().unwrap()),
             ethertype: u16::from_be_bytes([bytes[12], bytes[13]]),
-            payload: Bytes::copy_from_slice(&bytes[HEADER_LEN..]),
+            payload: bytes.slice(HEADER_LEN..),
         })
     }
 }
@@ -77,8 +77,8 @@ mod tests {
 
     #[test]
     fn short_frame_rejected() {
-        assert!(EthFrame::decode(&[0u8; 13]).is_none());
-        assert!(EthFrame::decode(&[0u8; 14]).is_some());
+        assert!(EthFrame::decode(&Bytes::from_static(&[0u8; 13])).is_none());
+        assert!(EthFrame::decode(&Bytes::from_static(&[0u8; 14])).is_some());
     }
 
     #[test]

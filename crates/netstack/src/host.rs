@@ -183,7 +183,7 @@ impl Host {
     // ------------------------------------------------------------------
 
     /// Feed one link-layer frame received on `ifindex`.
-    pub fn on_link_rx(&mut self, now: SimTime, ifindex: IfIndex, bytes: &[u8]) {
+    pub fn on_link_rx(&mut self, now: SimTime, ifindex: IfIndex, bytes: &Bytes) {
         let Some(eth) = EthFrame::decode(bytes) else {
             return;
         };

@@ -88,12 +88,13 @@ impl IcmpMessage {
         buf.freeze()
     }
 
-    /// Parse and validate the checksum.
-    pub fn decode(bytes: &[u8]) -> Option<IcmpMessage> {
+    /// Parse and validate the checksum; the payload is a zero-copy view
+    /// of `bytes`.
+    pub fn decode(bytes: &Bytes) -> Option<IcmpMessage> {
         if bytes.len() < 8 || checksum(bytes) != 0 {
             return None;
         }
-        let payload = Bytes::copy_from_slice(&bytes[8..]);
+        let payload = bytes.slice(8..);
         match (bytes[0], bytes[1]) {
             (8, 0) => Some(IcmpMessage::EchoRequest {
                 ident: u16::from_be_bytes([bytes[4], bytes[5]]),
@@ -157,6 +158,6 @@ mod tests {
         };
         let mut bytes = m.encode().to_vec();
         bytes[9] ^= 0x40;
-        assert!(IcmpMessage::decode(&bytes).is_none());
+        assert!(IcmpMessage::decode(&bytes.into()).is_none());
     }
 }

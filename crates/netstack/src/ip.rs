@@ -62,8 +62,9 @@ impl Ipv4Packet {
         buf.freeze()
     }
 
-    /// Parse and validate (version, lengths, checksum).
-    pub fn decode(bytes: &[u8]) -> Option<Ipv4Packet> {
+    /// Parse and validate (version, lengths, checksum); the payload is a
+    /// zero-copy view of `bytes`.
+    pub fn decode(bytes: &Bytes) -> Option<Ipv4Packet> {
         if bytes.len() < HEADER_LEN {
             return None;
         }
@@ -83,7 +84,7 @@ impl Ipv4Packet {
             protocol: bytes[9],
             ttl: bytes[8],
             ident: u16::from_be_bytes([bytes[4], bytes[5]]),
-            payload: Bytes::copy_from_slice(&bytes[HEADER_LEN..total_len]),
+            payload: bytes.slice(HEADER_LEN..total_len),
         })
     }
 }
@@ -105,6 +106,35 @@ pub fn checksum_with_pseudo(src: Ipv4Addr, dst: Ipv4Addr, protocol: u8, payload:
     acc = sum_words(payload, acc);
     let folded = fold(acc);
     let out = !folded;
+    // Per RFC 768, a computed 0 is transmitted as all-ones.
+    if out == 0 {
+        0xFFFF
+    } else {
+        out
+    }
+}
+
+/// [`checksum_with_pseudo`] with the 16-bit word at even offset
+/// `zero_at` treated as zero — lets TCP/UDP verify a received segment
+/// in place instead of copying it just to blank the checksum field.
+/// Exact: an aligned word contributes once to the u32 accumulator, so
+/// subtracting it afterwards is bit-identical to zeroing it first.
+pub fn checksum_with_pseudo_zeroed_at(
+    src: Ipv4Addr,
+    dst: Ipv4Addr,
+    protocol: u8,
+    payload: &[u8],
+    zero_at: usize,
+) -> u16 {
+    debug_assert!(zero_at.is_multiple_of(2) && zero_at + 2 <= payload.len());
+    let mut acc: u32 = 0;
+    acc = sum_words(&src.octets(), acc);
+    acc = sum_words(&dst.octets(), acc);
+    acc += protocol as u32;
+    acc += payload.len() as u32;
+    acc = sum_words(payload, acc);
+    acc -= u16::from_be_bytes([payload[zero_at], payload[zero_at + 1]]) as u32;
+    let out = !fold(acc);
     // Per RFC 768, a computed 0 is transmitted as all-ones.
     if out == 0 {
         0xFFFF
@@ -180,7 +210,7 @@ mod tests {
         );
         let mut bytes = p.encode().to_vec();
         bytes[8] ^= 0xFF; // mangle TTL without fixing checksum
-        assert!(Ipv4Packet::decode(&bytes).is_none());
+        assert!(Ipv4Packet::decode(&bytes.into()).is_none());
     }
 
     #[test]
@@ -192,7 +222,7 @@ mod tests {
             Bytes::from_static(b"0123456789"),
         );
         let bytes = p.encode();
-        assert!(Ipv4Packet::decode(&bytes[..bytes.len() - 5]).is_none());
+        assert!(Ipv4Packet::decode(&bytes.slice(..bytes.len() - 5)).is_none());
     }
 
     #[test]
@@ -206,7 +236,7 @@ mod tests {
         );
         let mut bytes = p.encode().to_vec();
         bytes.extend_from_slice(&[0u8; 12]);
-        let g = Ipv4Packet::decode(&bytes).unwrap();
+        let g = Ipv4Packet::decode(&bytes.into()).unwrap();
         assert_eq!(&g.payload[..], b"x");
     }
 

@@ -19,7 +19,7 @@ use std::collections::{BTreeMap, VecDeque};
 use bytes::{BufMut, Bytes, BytesMut};
 use rogue_sim::{SimDuration, SimTime};
 
-use crate::ip::checksum_with_pseudo;
+use crate::ip::{checksum_with_pseudo, checksum_with_pseudo_zeroed_at};
 use crate::{proto, Ipv4Addr};
 
 /// TCP header length (no options).
@@ -77,8 +77,9 @@ impl TcpSegment {
         buf.freeze()
     }
 
-    /// Parse and verify the checksum.
-    pub fn decode(src: Ipv4Addr, dst: Ipv4Addr, bytes: &[u8]) -> Option<TcpSegment> {
+    /// Parse and verify the checksum; the payload is a zero-copy view
+    /// of `bytes`.
+    pub fn decode(src: Ipv4Addr, dst: Ipv4Addr, bytes: &Bytes) -> Option<TcpSegment> {
         if bytes.len() < HEADER_LEN {
             return None;
         }
@@ -86,11 +87,9 @@ impl TcpSegment {
         if data_off < HEADER_LEN || data_off > bytes.len() {
             return None;
         }
-        let mut copy = bytes.to_vec();
-        copy[16] = 0;
-        copy[17] = 0;
         let stored = u16::from_be_bytes([bytes[16], bytes[17]]);
-        if checksum_with_pseudo(src, dst, proto::TCP, &copy) != stored {
+        // Verify in place, with the checksum field counted as zero.
+        if checksum_with_pseudo_zeroed_at(src, dst, proto::TCP, bytes, 16) != stored {
             return None;
         }
         Some(TcpSegment {
@@ -100,7 +99,7 @@ impl TcpSegment {
             ack: u32::from_be_bytes(bytes[8..12].try_into().unwrap()),
             flags: bytes[13],
             window: u16::from_be_bytes([bytes[14], bytes[15]]),
-            payload: Bytes::copy_from_slice(&bytes[data_off..]),
+            payload: bytes.slice(data_off..),
         })
     }
 }
@@ -1020,7 +1019,7 @@ mod tests {
         // Tampering breaks the checksum.
         let mut evil = bytes.to_vec();
         evil[25] ^= 0x01;
-        assert!(TcpSegment::decode(A.0, B.0, &evil).is_none());
+        assert!(TcpSegment::decode(A.0, B.0, &evil.into()).is_none());
         // Wrong pseudo-header breaks it too. (Note: merely *swapping*
         // src/dst keeps the one's-complement sum identical, so use a
         // genuinely different address.)

@@ -2,7 +2,7 @@
 
 use bytes::{BufMut, Bytes, BytesMut};
 
-use crate::ip::checksum_with_pseudo;
+use crate::ip::{checksum_with_pseudo, checksum_with_pseudo_zeroed_at};
 use crate::{proto, Ipv4Addr};
 
 /// UDP header length.
@@ -44,8 +44,9 @@ impl UdpDatagram {
         buf.freeze()
     }
 
-    /// Parse and verify the checksum.
-    pub fn decode(src: Ipv4Addr, dst: Ipv4Addr, bytes: &[u8]) -> Option<UdpDatagram> {
+    /// Parse and verify the checksum; the payload is a zero-copy view
+    /// of `bytes`.
+    pub fn decode(src: Ipv4Addr, dst: Ipv4Addr, bytes: &Bytes) -> Option<UdpDatagram> {
         if bytes.len() < HEADER_LEN {
             return None;
         }
@@ -53,15 +54,11 @@ impl UdpDatagram {
         if len < HEADER_LEN || len > bytes.len() {
             return None;
         }
-        let bytes = &bytes[..len];
+        let bytes = bytes.slice(..len);
         let stored = u16::from_be_bytes([bytes[6], bytes[7]]);
         if stored != 0 {
-            // Verify: checksum over the datagram with the field in place
-            // must fold to all-ones-complement zero.
-            let mut copy = bytes.to_vec();
-            copy[6] = 0;
-            copy[7] = 0;
-            let expect = checksum_with_pseudo(src, dst, proto::UDP, &copy);
+            // Verify in place, with the checksum field counted as zero.
+            let expect = checksum_with_pseudo_zeroed_at(src, dst, proto::UDP, &bytes, 6);
             if expect != stored {
                 return None;
             }
@@ -69,7 +66,7 @@ impl UdpDatagram {
         Some(UdpDatagram {
             src_port: u16::from_be_bytes([bytes[0], bytes[1]]),
             dst_port: u16::from_be_bytes([bytes[2], bytes[3]]),
-            payload: Bytes::copy_from_slice(&bytes[HEADER_LEN..]),
+            payload: bytes.slice(HEADER_LEN..),
         })
     }
 }
@@ -105,13 +102,13 @@ mod tests {
         let mut bytes = dg.encode(s, d).to_vec();
         let n = bytes.len();
         bytes[n - 1] ^= 1;
-        assert!(UdpDatagram::decode(s, d, &bytes).is_none());
+        assert!(UdpDatagram::decode(s, d, &bytes.into()).is_none());
     }
 
     #[test]
     fn short_rejected() {
         let (s, d) = ips();
-        assert!(UdpDatagram::decode(s, d, &[0u8; 7]).is_none());
+        assert!(UdpDatagram::decode(s, d, &Bytes::from_static(&[0u8; 7])).is_none());
     }
 
     #[test]

@@ -15,7 +15,7 @@
 //!    addressed station or to an attacker sniffing in monitor mode.
 
 use bytes::Bytes;
-use rogue_sim::{Seed, SimDuration, SimRng, SimTime};
+use rogue_sim::{Seed, SimRng, SimTime};
 
 use crate::propagation::{aci_rejection_db, dbm_to_mw, path_loss_db, Bitrate, Pos};
 
@@ -102,12 +102,13 @@ pub struct Medium {
     next_tx_id: u64,
     /// Collision/decode statistics.
     pub frames_sent: u64,
-    /// Count of (radio, frame) receptions destroyed by interference.
-    pub collisions: u64,
+    /// Receptions lost because the radio was itself transmitting during
+    /// the frame's airtime (half-duplex deafness).
+    pub halfduplex_misses: u64,
+    /// Receptions destroyed by insufficient SINR against overlapping
+    /// transmissions (true collisions, incl. adjacent-channel leakage).
+    pub sinr_drops: u64,
 }
-
-/// How long completed transmissions are retained for overlap checks.
-const RETENTION: SimDuration = SimDuration::from_millis(50);
 
 impl Medium {
     /// New medium with the given parameters; `seed` drives shadowing.
@@ -119,8 +120,14 @@ impl Medium {
             rng: SimRng::new(seed.fork(0x9097)),
             next_tx_id: 0,
             frames_sent: 0,
-            collisions: 0,
+            halfduplex_misses: 0,
+            sinr_drops: 0,
         }
+    }
+
+    /// Total destroyed receptions, either cause (the pre-split counter).
+    pub fn collisions(&self) -> u64 {
+        self.halfduplex_misses + self.sinr_drops
     }
 
     /// Register a radio. Radios are half-duplex and initially enabled.
@@ -237,9 +244,13 @@ impl Medium {
         assert_eq!(self.txs[idx].end, now, "complete_tx at wrong time");
         self.txs[idx].completed = true;
 
-        let tx = self.txs[idx].clone();
+        // Borrow the record in place — the tx (and its payload) is never
+        // cloned; deliveries refcount `tx.bytes` instead.
+        let tx = &self.txs[idx];
         let noise_mw = dbm_to_mw(self.params.noise_floor_dbm);
         let mut out = Vec::new();
+        let mut halfduplex_misses = 0;
+        let mut sinr_drops = 0;
 
         for (ri, radio) in self.radios.iter().enumerate() {
             let rid = RadioId(ri as u32);
@@ -258,15 +269,15 @@ impl Medium {
             let was_transmitting = self
                 .txs
                 .iter()
-                .any(|o| o.id != tx.id && o.src == rid && overlaps(o, &tx));
+                .any(|o| o.id != tx.id && o.src == rid && overlaps(o, tx));
             if was_transmitting {
-                self.collisions += 1;
+                halfduplex_misses += 1;
                 continue;
             }
             // Interference from every other overlapping transmission.
             let mut interf_mw = 0.0;
             for o in &self.txs {
-                if o.id == tx.id || !overlaps(o, &tx) || o.src == rid {
+                if o.id == tx.id || !overlaps(o, tx) || o.src == rid {
                     continue;
                 }
                 let offset = o.channel.abs_diff(radio.channel);
@@ -279,7 +290,7 @@ impl Medium {
             }
             let sinr_db = signal_dbm - 10.0 * (noise_mw + interf_mw).log10();
             if sinr_db < tx.bitrate.sinr_threshold_db() {
-                self.collisions += 1;
+                sinr_drops += 1;
                 continue;
             }
             out.push(Delivery {
@@ -290,6 +301,8 @@ impl Medium {
                 bitrate: tx.bitrate,
             });
         }
+        self.halfduplex_misses += halfduplex_misses;
+        self.sinr_drops += sinr_drops;
         out
     }
 
@@ -316,9 +329,30 @@ impl Medium {
         self.radios.len()
     }
 
+    /// Transmission records currently retained (in-flight plus completed
+    /// ones that still overlap an in-flight frame) — the working-set the
+    /// `complete_tx` scans walk. Exposed for tests and benches.
+    pub fn tx_backlog(&self) -> usize {
+        self.txs.len()
+    }
+
+    /// Drop completed transmissions that can no longer overlap anything.
+    ///
+    /// A completed record matters only while it can interfere with a
+    /// frame still in the air (or one begun later — which starts at
+    /// `now` or after). Both are bounded below by `horizon`: the
+    /// earliest in-flight start, or `now` when the air is clear. A
+    /// completed tx ending at or before `horizon` can never satisfy
+    /// `overlaps` again, so dropping it cannot change any SINR sum.
     fn prune(&mut self, now: SimTime) {
-        self.txs
-            .retain(|t| !t.completed || t.end.saturating_add(RETENTION) >= now);
+        let horizon = self
+            .txs
+            .iter()
+            .filter(|t| !t.completed)
+            .map(|t| t.start)
+            .min()
+            .unwrap_or(now);
+        self.txs.retain(|t| !t.completed || t.end > horizon);
     }
 }
 
@@ -403,7 +437,11 @@ mod tests {
         // Equal power => SINR ≈ 0 dB < 10 dB threshold: both die at victim.
         // (a and b themselves were transmitting, so receive nothing either.)
         assert!(d1.is_empty() && d2.is_empty());
-        assert!(m.collisions > 0);
+        // The victim's two losses are SINR kills; a and b were deaf
+        // because they were transmitting — distinct counters.
+        assert_eq!(m.sinr_drops, 2, "victim loses both frames to SINR");
+        assert_eq!(m.halfduplex_misses, 2, "each tx radio deaf to the other");
+        assert_eq!(m.collisions(), 4, "total preserves the pre-split sum");
     }
 
     #[test]
@@ -534,6 +572,60 @@ mod tests {
         let d1 = m.complete_tx(e1, h1);
         let _ = m.complete_tx(e2, h2);
         assert_eq!(d1.len(), 1, "channel-6 energy must not touch channel 1");
+    }
+
+    #[test]
+    fn midflight_registered_radio_hears_nothing() {
+        let mut m = medium();
+        let a = m.add_radio(Pos::new(0.0, 0.0), 1, 15.0);
+        let (h, end) = m.begin_tx(SimTime::ZERO, a, bytes(500), Bitrate::B1);
+        // A radio appears mid-flight: no rx power was sampled for it.
+        let late = m.add_radio(Pos::new(5.0, 0.0), 1, 15.0);
+        let ds = m.complete_tx(end, h);
+        assert!(
+            !ds.iter().any(|d| d.to == late),
+            "mid-flight radio heard a frame it has no sampled power for"
+        );
+        assert_eq!(m.halfduplex_misses, 0, "no counter corruption");
+        assert_eq!(m.sinr_drops, 0, "no counter corruption");
+        assert_eq!(m.frames_sent, 1);
+    }
+
+    #[test]
+    fn completed_txs_are_pruned_and_do_not_interfere() {
+        let mut m = medium();
+        let a = m.add_radio(Pos::new(0.0, 0.0), 1, 15.0);
+        let b = m.add_radio(Pos::new(10.0, 0.0), 1, 15.0);
+        // A long run of back-to-back frames: the working set must stay
+        // bounded instead of accumulating completed records.
+        let mut t = SimTime::ZERO;
+        for _ in 0..100 {
+            let (h, end) = m.begin_tx(t, a, bytes(100), Bitrate::B11);
+            let ds = m.complete_tx(end, h);
+            assert_eq!(ds.len(), 1, "sequential frames never collide");
+            assert_eq!(ds[0].to, b);
+            t = end;
+        }
+        assert!(
+            m.tx_backlog() <= 2,
+            "completed txs must be pruned, kept {}",
+            m.tx_backlog()
+        );
+        assert_eq!(
+            m.sinr_drops, 0,
+            "non-overlapping history is not interference"
+        );
+        // And pruning must not rewrite physics: a completed frame that
+        // still overlaps an in-flight one keeps interfering.
+        let (h1, e1) = m.begin_tx(t, a, bytes(1000), Bitrate::B1);
+        let t2 = SimTime(t.as_nanos() + 1000);
+        let (h2, e2) = m.begin_tx(t2, b, bytes(10), Bitrate::B11);
+        let _ = m.complete_tx(e2, h2);
+        let d1 = m.complete_tx(e1, h1);
+        assert!(
+            !d1.iter().any(|d| d.to == b),
+            "b transmitted during a's frame: still half-duplex deaf"
+        );
     }
 
     #[test]

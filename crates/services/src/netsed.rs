@@ -15,6 +15,7 @@
 //! strings that cross packet boundaries") and which experiment E2
 //! quantifies by sweeping the victim's MSS.
 
+use bytes::Bytes;
 use rogue_netstack::{Host, Ipv4Addr, SocketHandle};
 use rogue_sim::SimTime;
 
@@ -41,23 +42,33 @@ impl NetsedRule {
 }
 
 /// Apply all rules to one chunk, replacing every occurrence. Returns the
-/// rewritten chunk and the number of replacements made.
-pub fn apply_rules(rules: &[NetsedRule], chunk: &[u8]) -> (Vec<u8>, u64) {
-    let mut data = chunk.to_vec();
+/// rewritten chunk and the number of replacements made. Copy-on-write:
+/// a chunk no rule matches is returned as-is, still sharing its
+/// allocation — the proxy only pays for bytes it actually edits.
+pub fn apply_rules(rules: &[NetsedRule], chunk: Bytes) -> (Bytes, u64) {
+    let mut data: Option<Vec<u8>> = None;
     let mut hits = 0;
     for rule in rules {
         if rule.search.is_empty() {
             continue;
         }
         let mut from = 0;
-        while let Some(pos) = find_subslice(&data[from..], &rule.search) {
+        loop {
+            let hay: &[u8] = data.as_deref().unwrap_or(&chunk);
+            let Some(pos) = find_subslice(&hay[from..], &rule.search) else {
+                break;
+            };
             let at = from + pos;
-            data.splice(at..at + rule.search.len(), rule.replace.iter().copied());
+            let buf = data.get_or_insert_with(|| chunk.to_vec());
+            buf.splice(at..at + rule.search.len(), rule.replace.iter().copied());
             from = at + rule.replace.len();
             hits += 1;
         }
     }
-    (data, hits)
+    match data {
+        Some(edited) => (edited.into(), hits),
+        None => (chunk, hits),
+    }
 }
 
 struct Session {
@@ -115,7 +126,7 @@ impl Netsed {
                 break;
             }
             self.chunks += 1;
-            let (rewritten, hits) = apply_rules(&self.rules, &chunk);
+            let (rewritten, hits) = apply_rules(&self.rules, chunk.into());
             self.replacements += hits;
             host.tcp_send(now, to, &rewritten);
         }
@@ -188,7 +199,7 @@ mod tests {
             "href=file.tgz",
             "href=http://6.6.6.6/evil.tgz",
         )];
-        let page = b"<a href=file.tgz>get it</a>";
+        let page = Bytes::from_static(b"<a href=file.tgz>get it</a>");
         let (out, hits) = apply_rules(&rules, page);
         assert_eq!(hits, 1);
         assert_eq!(
@@ -200,17 +211,24 @@ mod tests {
     #[test]
     fn multiple_occurrences_all_replaced() {
         let rules = vec![NetsedRule::new("aa", "b")];
-        let (out, hits) = apply_rules(&rules, b"aaaa-aa");
+        let (out, hits) = apply_rules(&rules, Bytes::from_static(b"aaaa-aa"));
         assert_eq!(hits, 3);
-        assert_eq!(out, b"bb-b");
+        assert_eq!(&out[..], b"bb-b");
     }
 
     #[test]
     fn no_match_passthrough() {
         let rules = vec![NetsedRule::new("zzz", "yyy")];
-        let (out, hits) = apply_rules(&rules, b"hello");
+        let chunk = Bytes::from_static(b"hello");
+        let before = chunk.as_ptr();
+        let (out, hits) = apply_rules(&rules, chunk);
         assert_eq!(hits, 0);
-        assert_eq!(out, b"hello");
+        assert_eq!(&out[..], b"hello");
+        assert_eq!(
+            out.as_ptr(),
+            before,
+            "passthrough must share the allocation"
+        );
     }
 
     #[test]
@@ -219,9 +237,9 @@ mod tests {
             NetsedRule::new("short", "a much longer replacement"),
             NetsedRule::new("delete-me", ""),
         ];
-        let (out, hits) = apply_rules(&rules, b"short delete-me end");
+        let (out, hits) = apply_rules(&rules, Bytes::from_static(b"short delete-me end"));
         assert_eq!(hits, 2);
-        assert_eq!(out, b"a much longer replacement  end");
+        assert_eq!(&out[..], b"a much longer replacement  end");
     }
 
     #[test]
@@ -229,13 +247,13 @@ mod tests {
         // The paper's admitted limitation, in miniature: the match does
         // not fire when split across two chunks.
         let rules = vec![NetsedRule::new("RealMD5SUM", "FakeMD5SUM")];
-        let whole = b"MD5SUM: RealMD5SUM done";
-        let (_, hits_whole) = apply_rules(&rules, whole);
+        let whole = Bytes::from_static(b"MD5SUM: RealMD5SUM done");
+        let (_, hits_whole) = apply_rules(&rules, whole.clone());
         assert_eq!(hits_whole, 1);
 
-        let (first, second) = whole.split_at(12); // split inside the match
-        let (_, h1) = apply_rules(&rules, first);
-        let (_, h2) = apply_rules(&rules, second);
+        // Split inside the match: both halves are views of `whole`.
+        let (_, h1) = apply_rules(&rules, whole.slice(..12));
+        let (_, h2) = apply_rules(&rules, whole.slice(12..));
         assert_eq!(h1 + h2, 0, "straddling match must be missed");
     }
 
@@ -245,9 +263,9 @@ mod tests {
             search: vec![],
             replace: b"x".to_vec(),
         }];
-        let (out, hits) = apply_rules(&rules, b"data");
+        let (out, hits) = apply_rules(&rules, Bytes::from_static(b"data"));
         assert_eq!(hits, 0);
-        assert_eq!(out, b"data");
+        assert_eq!(&out[..], b"data");
     }
 
     #[test]

@@ -56,6 +56,10 @@ impl<E> Ord for Entry<E> {
 /// ```
 pub struct EventQueue<E> {
     heap: BinaryHeap<Entry<E>>,
+    /// Seqs still in the heap and not cancelled. Gives O(1) pending
+    /// checks on `cancel` (the heap itself cannot answer membership
+    /// without an O(n) scan) and an exact `len()`.
+    live: std::collections::HashSet<u64>,
     cancelled: std::collections::HashSet<u64>,
     next_seq: u64,
     now: SimTime,
@@ -73,6 +77,7 @@ impl<E> EventQueue<E> {
     pub fn new() -> Self {
         EventQueue {
             heap: BinaryHeap::new(),
+            live: std::collections::HashSet::new(),
             cancelled: std::collections::HashSet::new(),
             next_seq: 0,
             now: SimTime::ZERO,
@@ -92,7 +97,7 @@ impl<E> EventQueue<E> {
 
     /// Number of pending (non-cancelled) events.
     pub fn len(&self) -> usize {
-        self.heap.len() - self.cancelled.len()
+        self.live.len()
     }
 
     /// True when nothing is pending.
@@ -112,19 +117,18 @@ impl<E> EventQueue<E> {
         );
         let seq = self.next_seq;
         self.next_seq += 1;
+        self.live.insert(seq);
         self.heap.push(Entry { at, seq, event });
         EventId(seq)
     }
 
     /// Cancel a previously scheduled event. Returns true if it was still
-    /// pending. Cancellation is lazy: the entry is skipped at pop time.
+    /// pending. Cancellation is lazy: the entry is tombstoned here in
+    /// O(1) and physically dropped at pop time.
     pub fn cancel(&mut self, id: EventId) -> bool {
-        if id.0 >= self.next_seq {
-            return false;
-        }
-        // Only mark if it could still be in the heap.
-        if self.heap.iter().any(|e| e.seq == id.0) {
-            self.cancelled.insert(id.0)
+        if self.live.remove(&id.0) {
+            self.cancelled.insert(id.0);
+            true
         } else {
             false
         }
@@ -140,6 +144,7 @@ impl<E> EventQueue<E> {
     pub fn pop(&mut self) -> Option<(SimTime, E)> {
         self.skip_cancelled();
         let entry = self.heap.pop()?;
+        self.live.remove(&entry.seq);
         debug_assert!(entry.at >= self.now);
         self.now = entry.at;
         self.dispatched += 1;
@@ -227,6 +232,38 @@ mod tests {
     fn cancel_unknown_id_is_false() {
         let mut q: EventQueue<()> = EventQueue::new();
         assert!(!q.cancel(EventId(999)));
+    }
+
+    #[test]
+    fn cancel_after_fire_is_false() {
+        let mut q = EventQueue::new();
+        let id = q.schedule(SimTime::from_millis(1), "fired");
+        assert_eq!(q.pop().unwrap().1, "fired");
+        assert!(!q.cancel(id), "already-fired event is not pending");
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn len_stays_exact_under_cancel_storm() {
+        // A deauth-flood shape: many schedules, half cancelled, with
+        // interleaved pops. len() must stay exact throughout.
+        let mut q = EventQueue::new();
+        let mut ids = Vec::new();
+        for i in 0..200u64 {
+            ids.push(q.schedule(SimTime::from_millis(i + 1), i));
+        }
+        for id in ids.iter().step_by(2) {
+            assert!(q.cancel(*id));
+        }
+        assert_eq!(q.len(), 100);
+        let mut seen = 0;
+        while let Some((_, e)) = q.pop() {
+            assert!(e % 2 == 1, "only odd (uncancelled) events fire");
+            seen += 1;
+            assert_eq!(q.len(), 100 - seen);
+        }
+        assert_eq!(seen, 100);
+        assert!(q.is_empty());
     }
 
     #[test]

@@ -50,6 +50,12 @@ impl Metrics {
         *self.counters.entry(key).or_insert(0) += n;
     }
 
+    /// Overwrite a counter with an externally maintained total (used to
+    /// mirror substrate statistics like the phy counters into the sink).
+    pub fn set(&mut self, key: &'static str, v: u64) {
+        self.counters.insert(key, v);
+    }
+
     /// Accumulate into a floating-point sum (for means computed at report
     /// time as `sum / counter`).
     pub fn accumulate(&mut self, key: &'static str, v: f64) {

@@ -83,7 +83,7 @@ pub struct VpnClient {
     udp_sock: Option<SocketHandle>,
     tcp_sock: Option<SocketHandle>,
     tcp_rx: Vec<u8>,
-    pending: Vec<Vec<u8>>,
+    pending: Vec<Bytes>,
     auth_redelivery: Option<AuthRedelivery>,
     rng: SimRng,
     /// Records sent.
@@ -135,14 +135,14 @@ impl VpnClient {
     }
 
     /// The host emitted a frame on the tun interface: encapsulate it.
-    pub fn consume_tun_frame(&mut self, now: SimTime, host: &mut Host, frame: &[u8]) {
+    pub fn consume_tun_frame(&mut self, now: SimTime, host: &mut Host, frame: &Bytes) {
         let Some(eth) = EthFrame::decode(frame) else {
             return;
         };
         if eth.ethertype != ET_IPV4 {
             return; // ARP on the tun link is satisfied statically
         }
-        let packet = eth.payload.to_vec();
+        let packet = eth.payload;
         match &mut self.state {
             ClientState::Established(crypto) => {
                 let msg = crypto.seal(&packet);

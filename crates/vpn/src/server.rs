@@ -223,6 +223,7 @@ impl VpnServer {
                     return;
                 };
                 if let Some(packet) = crypto.open(seq, &tag, &ciphertext) {
+                    let packet = Bytes::from(packet);
                     // Only accept inner packets sourced from the client's
                     // assigned tunnel address (anti-spoofing).
                     if let Some(ip) = Ipv4Packet::decode(&packet) {
@@ -234,8 +235,7 @@ impl VpnServer {
                     }
                     self.records_in += 1;
                     let tun_mac = host.iface(self.cfg.tun_ifindex).mac;
-                    let frame =
-                        EthFrame::new(tun_mac, self.cfg.tun_peer_mac, ET_IPV4, Bytes::from(packet));
+                    let frame = EthFrame::new(tun_mac, self.cfg.tun_peer_mac, ET_IPV4, packet);
                     host.on_link_rx(now, self.cfg.tun_ifindex, &frame.encode());
                 }
             }
@@ -245,7 +245,7 @@ impl VpnServer {
 
     /// The endpoint host routed a packet into the tunnel: find the
     /// session owning the inner destination and encapsulate.
-    pub fn consume_tun_frame(&mut self, now: SimTime, host: &mut Host, frame: &[u8]) {
+    pub fn consume_tun_frame(&mut self, now: SimTime, host: &mut Host, frame: &Bytes) {
         let Some(eth) = EthFrame::decode(frame) else {
             return;
         };

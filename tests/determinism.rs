@@ -27,7 +27,8 @@ fn same_seed_same_world_trace() {
         (
             events,
             sc.world.medium.frames_sent,
-            sc.world.medium.collisions,
+            sc.world.medium.halfduplex_misses,
+            sc.world.medium.sinr_drops,
         )
     };
     let a = run(Seed(77));
@@ -35,6 +36,7 @@ fn same_seed_same_world_trace() {
     assert_eq!(a.0, b.0, "identical seeds must give identical event traces");
     assert_eq!(a.1, b.1);
     assert_eq!(a.2, b.2);
+    assert_eq!(a.3, b.3);
 }
 
 #[test]

@@ -84,7 +84,7 @@ proptest! {
         let mut bytes = f.encode().to_vec();
         let idx = byte as usize % bytes.len();
         bytes[idx] ^= flip;
-        prop_assert!(Frame::decode(&bytes).is_err());
+        prop_assert!(Frame::decode(&bytes.into()).is_err());
     }
 
     /// LLC/SNAP encapsulation round-trips.
@@ -143,9 +143,12 @@ proptest! {
         let needle = b"\x00NEEDLE-NEEDLE-17".to_vec();
         let clean: Vec<u8> = data.iter().copied().filter(|&b| b != 0).collect();
         let rules = vec![NetsedRule { search: needle, replace: b"x".to_vec() }];
-        let (out, hits) = apply_rules(&rules, &clean);
+        let chunk = bytes::Bytes::from(clean.clone());
+        let before = chunk.as_ptr();
+        let (out, hits) = apply_rules(&rules, chunk);
         prop_assert_eq!(hits, 0);
-        prop_assert_eq!(out, clean);
+        prop_assert_eq!(&out[..], &clean[..]);
+        prop_assert_eq!(out.as_ptr(), before, "no-match chunk must not be copied");
     }
 
     /// The number of netsed hits equals the number of non-overlapping
@@ -158,7 +161,7 @@ proptest! {
             data.push(b'-');
         }
         let rules = vec![NetsedRule::new("PATTERN", "replaced")];
-        let (_, hits) = apply_rules(&rules, &data);
+        let (_, hits) = apply_rules(&rules, bytes::Bytes::from(data));
         prop_assert_eq!(hits as usize, n);
     }
 }
