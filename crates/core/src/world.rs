@@ -593,6 +593,16 @@ impl World {
         self.metrics
             .set("phy.halfduplex_misses", self.medium.halfduplex_misses);
         self.metrics.set("phy.sinr_drops", self.medium.sinr_drops);
+        let (pairs, hits, misses) = self.medium.pathloss_cache_stats();
+        self.metrics.set("phy.pathloss_cache_pairs", pairs as u64);
+        self.metrics.set("phy.pathloss_cache_hits", hits);
+        self.metrics.set("phy.pathloss_cache_misses", misses);
+        self.metrics
+            .set("phy.audible_rows_reused", self.medium.audible_rows_reused());
+        self.metrics.set(
+            "phy.power_map_entries",
+            self.medium.power_map_entries() as u64,
+        );
     }
 
     fn receive_on_radio(

@@ -9,9 +9,57 @@ use std::collections::{HashMap, HashSet};
 
 use rogue_dot11::monitor::Sniffer;
 use rogue_dot11::MacAddr;
+use rogue_phy::{Bitrate, Medium, RadioId};
 use rogue_sim::SimTime;
 
 use crate::{Alarm, AlarmKind};
+
+/// Predicted audibility of one transmitter at one audit sensor, from the
+/// medium's deterministic (shadowing-free) propagation model.
+#[derive(Clone, Copy, Debug)]
+pub struct CoveragePrediction {
+    /// The transmitter (typically an authorized AP).
+    pub ap: RadioId,
+    /// The audit sensor radio.
+    pub sensor: RadioId,
+    /// Predicted received power at the sensor, dBm.
+    pub predicted_rssi_dbm: f64,
+    /// Whether the prediction clears the weakest (1 Mbps) sensitivity —
+    /// i.e. the sensor should be able to log this AP's beacons.
+    pub decodable: bool,
+}
+
+/// Predict which of `aps` every audit `sensor` should hear, and at what
+/// RSSI. Planning a sweep against these predictions tells the auditor
+/// where an AP falling silent (or a rogue appearing far louder than the
+/// site survey predicts) is meaningful rather than expected.
+///
+/// Estimates are served from the medium's shared pairwise path-loss
+/// cache, so a site-wide prediction matrix costs one geometry solve per
+/// (ap, sensor) pair — repeat audits and the medium's own decode path
+/// reuse the same entries.
+pub fn predict_coverage(
+    medium: &Medium,
+    aps: &[RadioId],
+    sensors: &[RadioId],
+) -> Vec<CoveragePrediction> {
+    let mut out = Vec::with_capacity(aps.len() * sensors.len());
+    for &ap in aps {
+        for &sensor in sensors {
+            if ap == sensor {
+                continue;
+            }
+            let rssi = medium.rssi_estimate_dbm(ap, sensor);
+            out.push(CoveragePrediction {
+                ap,
+                sensor,
+                predicted_rssi_dbm: rssi,
+                decodable: rssi >= Bitrate::MIN_SENSITIVITY_DBM,
+            });
+        }
+    }
+    out
+}
 
 /// One audited network observation.
 #[derive(Clone, Debug)]
@@ -232,6 +280,36 @@ mod tests {
         auditor.audit(&sniffer);
         assert!(auditor.alarms.iter().any(|a| a.subject == rogue));
         assert!(!auditor.alarms.iter().any(|a| a.subject == legit));
+    }
+
+    #[test]
+    fn coverage_predictions_match_the_medium() {
+        use rogue_phy::{MediumParams, Pos};
+        use rogue_sim::Seed;
+
+        let mut m = Medium::new(MediumParams::default(), Seed(3));
+        let ap = m.add_radio(Pos::new(0.0, 0.0), 1, 15.0);
+        let near = m.add_radio(Pos::new(20.0, 0.0), 1, 15.0);
+        let far = m.add_radio(Pos::new(5000.0, 0.0), 1, 15.0);
+
+        let preds = predict_coverage(&m, &[ap], &[near, far]);
+        assert_eq!(preds.len(), 2);
+        let at = |s: RadioId| preds.iter().find(|p| p.sensor == s).unwrap();
+        assert!(at(near).decodable, "20 m sensor must be in coverage");
+        assert!(!at(far).decodable, "5 km sensor must be out of coverage");
+        // 15 dBm - (40 + 30·log10(20)) ≈ -64 dBm.
+        assert!((at(near).predicted_rssi_dbm - -64.03).abs() < 0.05);
+
+        // Predictions are served from the medium's shared path-loss
+        // cache: a repeat audit hits instead of re-solving geometry.
+        let (_, hits_before, _) = m.pathloss_cache_stats();
+        let again = predict_coverage(&m, &[ap], &[near, far]);
+        let (_, hits_after, _) = m.pathloss_cache_stats();
+        assert!(hits_after >= hits_before + 2, "repeat audit must hit cache");
+        assert_eq!(
+            again[0].predicted_rssi_dbm.to_bits(),
+            preds[0].predicted_rssi_dbm.to_bits()
+        );
     }
 
     #[test]

@@ -1,0 +1,103 @@
+//! Lazily-filled symmetric pairwise path-loss cache.
+//!
+//! `path_loss_db` runs a `sqrt` + `powi` + `log10` chain; the dense
+//! medium used to evaluate it for every registered radio on every frame.
+//! Positions change rarely (mobility steps) relative to frame rates, so
+//! the loss between a pair of radios is a near-constant: this cache keys
+//! it on the unordered radio pair plus each end's *position epoch* (a
+//! per-radio counter bumped by `set_pos`), recomputing only when either
+//! end has actually moved. Channel changes do not touch positions and
+//! therefore never invalidate an entry.
+//!
+//! Lookups go through interior mutability so read-shaped APIs
+//! ([`crate::Medium::rssi_estimate_dbm`], site-audit range predictions)
+//! can fill the cache from `&self`.
+
+use std::cell::{Cell, RefCell};
+use std::collections::HashMap;
+
+use crate::propagation::{path_loss_db, Pos};
+
+/// One cache endpoint: radio index, current position, position epoch.
+pub(crate) type End = (u32, Pos, u64);
+
+#[derive(Debug)]
+struct Entry {
+    /// Position epochs of the (lower, higher) radio index at fill time.
+    epochs: (u64, u64),
+    loss_db: f64,
+}
+
+/// The pairwise gain matrix, filled on demand.
+#[derive(Debug, Default)]
+pub(crate) struct PathLossCache {
+    entries: RefCell<HashMap<(u32, u32), Entry>>,
+    hits: Cell<u64>,
+    misses: Cell<u64>,
+}
+
+impl PathLossCache {
+    /// Path loss between radios `a` and `b`, cached per (pair, position
+    /// epochs). Bit-identical to calling [`path_loss_db`] directly:
+    /// Euclidean distance is exactly symmetric, so the unordered key
+    /// cannot change the value.
+    pub fn loss_db(&self, a: End, b: End, ref_loss_db: f64, exponent: f64) -> f64 {
+        let (lo, hi) = if a.0 <= b.0 { (a, b) } else { (b, a) };
+        let key = (lo.0, hi.0);
+        let epochs = (lo.2, hi.2);
+        if let Some(e) = self.entries.borrow().get(&key) {
+            if e.epochs == epochs {
+                self.hits.set(self.hits.get() + 1);
+                return e.loss_db;
+            }
+        }
+        self.misses.set(self.misses.get() + 1);
+        let loss_db = path_loss_db(lo.1.distance(hi.1), ref_loss_db, exponent);
+        self.entries
+            .borrow_mut()
+            .insert(key, Entry { epochs, loss_db });
+        loss_db
+    }
+
+    /// (cached pairs, lookup hits, lookup misses).
+    pub fn stats(&self) -> (usize, u64, u64) {
+        (
+            self.entries.borrow().len(),
+            self.hits.get(),
+            self.misses.get(),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn caches_and_is_symmetric() {
+        let c = PathLossCache::default();
+        let a = (0u32, Pos::new(0.0, 0.0), 0u64);
+        let b = (1u32, Pos::new(30.0, 40.0), 0u64);
+        let fresh = path_loss_db(50.0, 40.0, 3.0);
+        assert_eq!(c.loss_db(a, b, 40.0, 3.0).to_bits(), fresh.to_bits());
+        assert_eq!(c.loss_db(b, a, 40.0, 3.0).to_bits(), fresh.to_bits());
+        let (len, hits, misses) = c.stats();
+        assert_eq!((len, hits, misses), (1, 1, 1), "second lookup must hit");
+    }
+
+    #[test]
+    fn position_epoch_invalidates() {
+        let c = PathLossCache::default();
+        let a = (0u32, Pos::new(0.0, 0.0), 0u64);
+        let near = c.loss_db(a, (1, Pos::new(10.0, 0.0), 0), 40.0, 3.0);
+        // Radio 1 moved: same pair, new epoch → recompute, not the stale
+        // cached value.
+        let far = c.loss_db(a, (1, Pos::new(100.0, 0.0), 1), 40.0, 3.0);
+        assert!(far > near);
+        assert_eq!(
+            far.to_bits(),
+            path_loss_db(100.0, 40.0, 3.0).to_bits(),
+            "stale entry must not be served after a move"
+        );
+    }
+}

@@ -1,0 +1,103 @@
+//! Uniform spatial hash over radio positions.
+//!
+//! `begin_tx` only needs the radios inside the transmitter's audible
+//! radius (see [`crate::propagation::max_range_m`]); the grid turns that
+//! query from O(registry) into O(cells in range). Cells are a hash map,
+//! so the floor can be any size and positions any coordinates without
+//! preallocating an arena.
+
+use std::collections::HashMap;
+
+use crate::propagation::Pos;
+
+/// Cell edge in metres. Chosen near a third of the default 15 dBm decode
+/// horizon (~200 m): candidate squares stay a few cells wide while dense
+/// deployments don't collapse into one giant cell.
+const CELL_M: f64 = 64.0;
+
+/// The grid: radio indices bucketed by cell.
+#[derive(Debug, Default)]
+pub(crate) struct SpatialGrid {
+    cells: HashMap<(i32, i32), Vec<u32>>,
+}
+
+fn key(pos: Pos) -> (i32, i32) {
+    (
+        (pos.x / CELL_M).floor() as i32,
+        (pos.y / CELL_M).floor() as i32,
+    )
+}
+
+impl SpatialGrid {
+    /// Register a radio at `pos`.
+    pub fn insert(&mut self, idx: u32, pos: Pos) {
+        self.cells.entry(key(pos)).or_default().push(idx);
+    }
+
+    /// Move a radio (cell membership only; a same-cell move is free).
+    pub fn relocate(&mut self, idx: u32, old: Pos, new: Pos) {
+        let (from, to) = (key(old), key(new));
+        if from == to {
+            return;
+        }
+        if let Some(cell) = self.cells.get_mut(&from) {
+            if let Some(i) = cell.iter().position(|&r| r == idx) {
+                cell.swap_remove(i);
+                if cell.is_empty() {
+                    self.cells.remove(&from);
+                }
+            }
+        }
+        self.cells.entry(to).or_default().push(idx);
+    }
+
+    /// Append every radio in a cell intersecting the square of
+    /// half-width `radius_m` around `center` to `out` (unsorted; a
+    /// superset of the radios within `radius_m`).
+    pub fn collect_in_square(&self, center: Pos, radius_m: f64, out: &mut Vec<u32>) {
+        let (x0, y0) = key(Pos::new(center.x - radius_m, center.y - radius_m));
+        let (x1, y1) = key(Pos::new(center.x + radius_m, center.y + radius_m));
+        for cy in y0..=y1 {
+            for cx in x0..=x1 {
+                if let Some(cell) = self.cells.get(&(cx, cy)) {
+                    out.extend_from_slice(cell);
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn collected(g: &SpatialGrid, center: Pos, r: f64) -> Vec<u32> {
+        let mut v = Vec::new();
+        g.collect_in_square(center, r, &mut v);
+        v.sort_unstable();
+        v
+    }
+
+    #[test]
+    fn query_returns_superset_of_radius() {
+        let mut g = SpatialGrid::default();
+        g.insert(0, Pos::new(0.0, 0.0));
+        g.insert(1, Pos::new(50.0, 0.0));
+        g.insert(2, Pos::new(1000.0, 1000.0));
+        let near = collected(&g, Pos::new(0.0, 0.0), 60.0);
+        assert!(near.contains(&0) && near.contains(&1));
+        assert!(!near.contains(&2), "far cell must be culled");
+    }
+
+    #[test]
+    fn relocate_tracks_cell_changes() {
+        let mut g = SpatialGrid::default();
+        g.insert(7, Pos::new(0.0, 0.0));
+        g.relocate(7, Pos::new(0.0, 0.0), Pos::new(500.0, 0.0));
+        assert!(!collected(&g, Pos::new(0.0, 0.0), 10.0).contains(&7));
+        assert!(collected(&g, Pos::new(500.0, 0.0), 10.0).contains(&7));
+        // Negative coordinates hash fine too.
+        g.relocate(7, Pos::new(500.0, 0.0), Pos::new(-500.0, -500.0));
+        assert!(collected(&g, Pos::new(-500.0, -500.0), 10.0).contains(&7));
+    }
+}

@@ -17,6 +17,8 @@
 //! receives the bytes — including an attacker's monitor-mode radio, which
 //! is all "sniffing" is.
 
+mod cache;
+mod grid;
 pub mod medium;
 pub mod propagation;
 

@@ -3,8 +3,9 @@
 //! Protocol flow per transmission:
 //!
 //! 1. A MAC hands bytes to [`Medium::begin_tx`]; the medium computes the
-//!    airtime and the received power at every registered radio (sampling
-//!    shadowing deterministically from the medium RNG).
+//!    airtime and the received power at every radio that can possibly
+//!    hear the frame (sampling shadowing deterministically from the
+//!    medium RNG when enabled).
 //! 2. The world schedules a completion event at the returned end time and
 //!    then calls [`Medium::complete_tx`], which decides per radio whether
 //!    the frame decodes: on-channel, above sensitivity, and with
@@ -13,11 +14,47 @@
 //! 3. Each successful [`Delivery`] carries the bytes and measured RSSI —
 //!    the exact observables of a real NIC, whether it belongs to the
 //!    addressed station or to an attacker sniffing in monitor mode.
+//!
+//! # Scaling: per-frame cost is O(audible), not O(registry)
+//!
+//! With shadowing disabled (`shadowing_sigma_db == 0.0`, every experiment
+//! except E1) received power is a pure function of geometry, so the
+//! medium takes three shortcuts that keep a campus-scale registry out of
+//! the per-frame path:
+//!
+//! * a lazily-filled **pairwise path-loss cache** keyed on (radio pair,
+//!   position epochs) — the `sqrt`/`powi`/`log10` chain runs once per
+//!   pair per move, not once per frame ([`crate::cache`]);
+//! * a **uniform spatial grid** plus per-source **audible-row cache**, so
+//!   `begin_tx` stores a sparse `(radio, dBm)` list covering only radios
+//!   inside the decode/CCA horizon ([`crate::grid`],
+//!   [`propagation::max_range_m`]);
+//! * in-flight transmissions are indexed **by channel** (only channels
+//!   within the 5-channel interaction span can exchange energy), **by
+//!   source** (the half-duplex check), and **by id** (O(1) completion
+//!   lookup).
+//!
+//! The sparse path is bit-identical to the dense fill: culled radios are
+//! exactly those below the audible floor (they can neither decode nor
+//! trip CCA), interference from them is recomputed on demand from the
+//! same begin-time geometry (mid-flight moves pin the begin-era sample
+//! into an override list), and interference sums run in the same
+//! ascending-id order. With `sigma > 0` the dense fill is kept as-is so
+//! the sequential registration-order RNG draws — and therefore every
+//! E1 shadowing result — stay byte-identical.
+
+use std::collections::HashMap;
+use std::sync::Arc;
 
 use bytes::Bytes;
 use rogue_sim::{Seed, SimRng, SimTime};
 
-use crate::propagation::{aci_rejection_db, dbm_to_mw, path_loss_db, Bitrate, Pos};
+use crate::cache::PathLossCache;
+use crate::grid::SpatialGrid;
+use crate::propagation::{
+    aci_rejection_db, dbm_to_mw, max_range_m, path_loss_db, Bitrate, Pos,
+    CHANNEL_SPACING_NONOVERLAP,
+};
 
 /// Identifies a registered radio.
 #[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
@@ -60,6 +97,29 @@ struct Radio {
     channel: u8,
     tx_power_dbm: f64,
     enabled: bool,
+    /// Bumped by every position change; keys the path-loss cache.
+    pos_epoch: u64,
+}
+
+/// A source's audible set: `(radio index, received dBm)` sorted by
+/// index, shared between the per-source row cache and every sparse tx
+/// begun while the geometry holds.
+type AudibleRow = Arc<Vec<(u32, f64)>>;
+
+/// Received power samples of one transmission.
+#[derive(Clone, Debug)]
+enum TxPower {
+    /// Power at every radio registered at begin time, by index — the
+    /// σ > 0 shadowing path, whose sequential registration-order RNG
+    /// draws force a full fill.
+    Dense(Vec<f64>),
+    /// Only the radios at or above the audible floor, sorted by index
+    /// (shared with the per-source row cache), plus begin-era samples
+    /// pinned by `set_pos` for radios that moved mid-flight.
+    Sparse {
+        audible: AudibleRow,
+        overrides: Vec<(u32, f64)>,
+    },
 }
 
 #[derive(Clone, Debug)]
@@ -71,9 +131,14 @@ struct Transmission {
     start: SimTime,
     end: SimTime,
     bytes: Bytes,
-    /// Received power at each radio (by index) sampled at start; radios
-    /// registered later are treated as out of range.
-    rx_power_dbm: Vec<f64>,
+    /// Transmitter geometry frozen at begin time, so sub-floor received
+    /// power (interference-only) can be recomputed on demand exactly as
+    /// the dense fill would have sampled it.
+    src_pos: Pos,
+    tx_power_dbm: f64,
+    /// Radios registered later are treated as out of range.
+    radios_at_start: u32,
+    power: TxPower,
     completed: bool,
 }
 
@@ -92,12 +157,42 @@ pub struct Delivery {
     pub bitrate: Bitrate,
 }
 
+/// Channels whose transmissions can exchange energy with `channel`
+/// (within the 5-channel non-overlap spacing), clamped to 1..=14.
+fn interacting_channels(channel: u8) -> std::ops::RangeInclusive<usize> {
+    let lo = channel
+        .saturating_sub(CHANNEL_SPACING_NONOVERLAP - 1)
+        .max(1);
+    let hi = (channel + CHANNEL_SPACING_NONOVERLAP - 1).min(14);
+    lo as usize..=hi as usize
+}
+
 /// The broadcast medium: all registered radios, all in-flight and recent
 /// transmissions.
 pub struct Medium {
     params: MediumParams,
+    /// `min(weakest sensitivity, CCA threshold)`: below this received
+    /// power a radio can neither decode a frame nor sense the channel
+    /// busy, so `begin_tx` need not store it.
+    audible_floor_dbm: f64,
     radios: Vec<Radio>,
     txs: Vec<Transmission>,
+    /// Transmission id → slot in `txs` (O(1) `complete_tx` lookup).
+    tx_index: HashMap<u64, usize>,
+    /// Retained tx ids bucketed by channel (index 1..=14; ascending id
+    /// within a bucket). Only buckets within the interaction span are
+    /// walked by the decode / CCA paths.
+    by_channel: [Vec<u64>; 15],
+    /// Retained tx ids by source radio index — the half-duplex check.
+    by_src: HashMap<u32, Vec<u64>>,
+    grid: SpatialGrid,
+    cache: PathLossCache,
+    /// Per-source audible rows, valid while `geom_epoch` is unchanged.
+    audible_rows: HashMap<u32, (u64, AudibleRow)>,
+    /// Bumped whenever the radio set or any position changes.
+    geom_epoch: u64,
+    row_reuses: u64,
+    force_dense: bool,
     rng: SimRng,
     next_tx_id: u64,
     /// Collision/decode statistics.
@@ -113,10 +208,21 @@ pub struct Medium {
 impl Medium {
     /// New medium with the given parameters; `seed` drives shadowing.
     pub fn new(params: MediumParams, seed: Seed) -> Medium {
+        let audible_floor_dbm = Bitrate::MIN_SENSITIVITY_DBM.min(params.cca_threshold_dbm);
         Medium {
             params,
+            audible_floor_dbm,
             radios: Vec::new(),
             txs: Vec::new(),
+            tx_index: HashMap::new(),
+            by_channel: std::array::from_fn(|_| Vec::new()),
+            by_src: HashMap::new(),
+            grid: SpatialGrid::default(),
+            cache: PathLossCache::default(),
+            audible_rows: HashMap::new(),
+            geom_epoch: 0,
+            row_reuses: 0,
+            force_dense: false,
             rng: SimRng::new(seed.fork(0x9097)),
             next_tx_id: 0,
             frames_sent: 0,
@@ -133,18 +239,51 @@ impl Medium {
     /// Register a radio. Radios are half-duplex and initially enabled.
     pub fn add_radio(&mut self, pos: Pos, channel: u8, tx_power_dbm: f64) -> RadioId {
         assert!((1..=14).contains(&channel), "invalid 802.11b channel");
+        let idx = self.radios.len() as u32;
         self.radios.push(Radio {
             pos,
             channel,
             tx_power_dbm,
             enabled: true,
+            pos_epoch: 0,
         });
-        RadioId(self.radios.len() as u32 - 1)
+        self.grid.insert(idx, pos);
+        self.geom_epoch += 1;
+        RadioId(idx)
     }
 
-    /// Move a radio (client mobility).
+    /// Move a radio (client mobility). Invalidates the cached path
+    /// losses and audible rows involving this radio; transmissions
+    /// already in flight keep their begin-time power samples.
     pub fn set_pos(&mut self, id: RadioId, pos: Pos) {
-        self.radios[id.0 as usize].pos = pos;
+        let ri = id.0 as usize;
+        let old = self.radios[ri].pos;
+        if old == pos {
+            return;
+        }
+        // Pin the begin-era sample into every retained sparse tx that
+        // doesn't already cover this radio: it may still be read as
+        // interference while the tx (or an overlapper) is in flight, and
+        // the dense fill would have sampled the pre-move geometry.
+        let (ref_loss, exponent) = (self.params.ref_loss_db, self.params.path_loss_exponent);
+        for t in &mut self.txs {
+            if id.0 >= t.radios_at_start || t.src == id {
+                continue;
+            }
+            if let TxPower::Sparse { audible, overrides } = &mut t.power {
+                let covered = audible.binary_search_by_key(&id.0, |e| e.0).is_ok()
+                    || overrides.iter().any(|e| e.0 == id.0);
+                if !covered {
+                    let p =
+                        t.tx_power_dbm - path_loss_db(t.src_pos.distance(old), ref_loss, exponent);
+                    overrides.push((id.0, p));
+                }
+            }
+        }
+        self.grid.relocate(id.0, old, pos);
+        self.radios[ri].pos = pos;
+        self.radios[ri].pos_epoch += 1;
+        self.geom_epoch += 1;
     }
 
     /// Current position of a radio.
@@ -153,6 +292,8 @@ impl Medium {
     }
 
     /// Retune a radio (channel hopping during scans / site audits).
+    /// Pure frequency change: path-loss cache and audible rows stay
+    /// valid.
     pub fn set_channel(&mut self, id: RadioId, channel: u8) {
         assert!((1..=14).contains(&channel), "invalid 802.11b channel");
         self.radios[id.0 as usize].channel = channel;
@@ -170,16 +311,71 @@ impl Medium {
 
     /// Deterministic (shadowing-free) received power estimate of `from`'s
     /// transmitter at `to`'s position — used by tooling (site-audit range
-    /// predictions), not by the decode path.
+    /// predictions), not by the decode path. Served from the shared
+    /// path-loss cache.
     pub fn rssi_estimate_dbm(&self, from: RadioId, to: RadioId) -> f64 {
         let f = &self.radios[from.0 as usize];
         let t = &self.radios[to.0 as usize];
         f.tx_power_dbm
-            - path_loss_db(
-                f.pos.distance(t.pos),
+            - self.cache.loss_db(
+                (from.0, f.pos, f.pos_epoch),
+                (to.0, t.pos, t.pos_epoch),
                 self.params.ref_loss_db,
                 self.params.path_loss_exponent,
             )
+    }
+
+    /// The audible set of `src` at its current position: every other
+    /// radio whose received power clears the audible floor, sorted by
+    /// index. Served from the per-source row cache while the geometry is
+    /// unchanged; rebuilt from the spatial grid + path-loss cache
+    /// otherwise.
+    fn audible_row(&mut self, src: u32, src_pos: Pos, tx_power_dbm: f64) -> AudibleRow {
+        if let Some((epoch, row)) = self.audible_rows.get(&src) {
+            if *epoch == self.geom_epoch {
+                self.row_reuses += 1;
+                return Arc::clone(row);
+            }
+        }
+        let floor = self.audible_floor_dbm;
+        let range = max_range_m(
+            tx_power_dbm,
+            floor,
+            self.params.ref_loss_db,
+            self.params.path_loss_exponent,
+        );
+        let mut cand: Vec<u32> = Vec::new();
+        if range.is_finite() {
+            // The pad only absorbs float rounding in the range solve;
+            // membership is re-checked exactly below.
+            self.grid
+                .collect_in_square(src_pos, range * (1.0 + 1e-9) + 0.5, &mut cand);
+        } else {
+            cand.extend(0..self.radios.len() as u32);
+        }
+        let src_epoch = self.radios[src as usize].pos_epoch;
+        let mut audible = Vec::with_capacity(cand.len());
+        for ri in cand {
+            if ri == src {
+                continue;
+            }
+            let r = &self.radios[ri as usize];
+            let loss = self.cache.loss_db(
+                (src, src_pos, src_epoch),
+                (ri, r.pos, r.pos_epoch),
+                self.params.ref_loss_db,
+                self.params.path_loss_exponent,
+            );
+            let p = tx_power_dbm - loss;
+            if p >= floor {
+                audible.push((ri, p));
+            }
+        }
+        audible.sort_unstable_by_key(|e| e.0);
+        let row = Arc::new(audible);
+        self.audible_rows
+            .insert(src, (self.geom_epoch, Arc::clone(&row)));
+        row
     }
 
     /// Begin transmitting `bytes` from `src` at `bitrate` on the radio's
@@ -200,19 +396,29 @@ impl Medium {
         let src_pos = radio.pos;
 
         let sigma = self.params.shadowing_sigma_db;
-        let mut rx_power = Vec::with_capacity(self.radios.len());
-        for r in &self.radios {
-            let mut p = tx_power
-                - path_loss_db(
-                    src_pos.distance(r.pos),
-                    self.params.ref_loss_db,
-                    self.params.path_loss_exponent,
-                );
-            if sigma > 0.0 {
-                p += self.rng.gaussian(0.0, sigma);
+        let power = if sigma > 0.0 || self.force_dense {
+            // Dense fill: power at every radio, shadowing drawn from the
+            // medium RNG in registration order (the σ > 0 contract).
+            let mut rx_power = Vec::with_capacity(self.radios.len());
+            for r in &self.radios {
+                let mut p = tx_power
+                    - path_loss_db(
+                        src_pos.distance(r.pos),
+                        self.params.ref_loss_db,
+                        self.params.path_loss_exponent,
+                    );
+                if sigma > 0.0 {
+                    p += self.rng.gaussian(0.0, sigma);
+                }
+                rx_power.push(p);
             }
-            rx_power.push(p);
-        }
+            TxPower::Dense(rx_power)
+        } else {
+            TxPower::Sparse {
+                audible: self.audible_row(src.0, src_pos, tx_power),
+                overrides: Vec::new(),
+            }
+        };
 
         let id = self.next_tx_id;
         self.next_tx_id += 1;
@@ -225,80 +431,144 @@ impl Medium {
             start: now,
             end,
             bytes,
-            rx_power_dbm: rx_power,
+            src_pos,
+            tx_power_dbm: tx_power,
+            radios_at_start: self.radios.len() as u32,
+            power,
             completed: false,
         });
+        self.tx_index.insert(id, self.txs.len() - 1);
+        self.by_channel[channel as usize].push(id);
+        self.by_src.entry(src.0).or_default().push(id);
         self.prune(now);
         (TxHandle(id), end)
+    }
+
+    /// Received power of `tx` at radio `ri` exactly as the begin-time
+    /// dense fill would have sampled it: stored entry when present,
+    /// otherwise (sparse, sub-floor, unmoved since begin — moves are
+    /// pinned as overrides by `set_pos`) recomputed from the frozen
+    /// transmitter geometry. `None` for radios registered mid-flight.
+    fn rx_power_at(&self, tx: &Transmission, ri: usize) -> Option<f64> {
+        if ri as u32 >= tx.radios_at_start {
+            return None;
+        }
+        match &tx.power {
+            TxPower::Dense(v) => v.get(ri).copied(),
+            TxPower::Sparse { .. } => Some(stored_rx_power_at(tx, ri).unwrap_or_else(|| {
+                tx.tx_power_dbm
+                    - path_loss_db(
+                        tx.src_pos.distance(self.radios[ri].pos),
+                        self.params.ref_loss_db,
+                        self.params.path_loss_exponent,
+                    )
+            })),
+        }
     }
 
     /// Complete a transmission, returning all successful deliveries. Must
     /// be called exactly once, at the end time returned by `begin_tx`.
     pub fn complete_tx(&mut self, now: SimTime, handle: TxHandle) -> Vec<Delivery> {
-        let idx = self
-            .txs
-            .iter()
-            .position(|t| t.id == handle.0)
+        let idx = *self
+            .tx_index
+            .get(&handle.0)
             .expect("unknown or pruned transmission");
         assert!(!self.txs[idx].completed, "complete_tx called twice");
         assert_eq!(self.txs[idx].end, now, "complete_tx at wrong time");
         self.txs[idx].completed = true;
 
-        // Borrow the record in place — the tx (and its payload) is never
-        // cloned; deliveries refcount `tx.bytes` instead.
+        // Copy the tx's scalar identity and refcount its payload so the
+        // candidate loop below can read other txs through `self` freely;
+        // the payload itself is never duplicated.
         let tx = &self.txs[idx];
+        let (tx_id, tx_src, tx_channel, tx_bitrate) = (tx.id, tx.src, tx.channel, tx.bitrate);
+        let (tx_start, tx_end) = (tx.start, tx.end);
+        let tx_bytes = tx.bytes.clone();
+
+        // Candidate receivers: every begin-time radio for a dense fill,
+        // only the audible set for a sparse one. Both ascend by radio
+        // index, so delivery order matches the historical dense scan.
+        let candidates: Vec<(usize, f64)> = match &tx.power {
+            TxPower::Dense(v) => v.iter().enumerate().map(|(i, &p)| (i, p)).collect(),
+            TxPower::Sparse { audible, .. } => {
+                audible.iter().map(|&(i, p)| (i as usize, p)).collect()
+            }
+        };
+
+        // Time-overlapping txs on channels close enough to interact, in
+        // ascending-id order — the order the historical full-backlog
+        // scan summed interference in (float addition order is
+        // observable).
+        let mut interferers: Vec<usize> = Vec::new();
+        for ch in interacting_channels(tx_channel) {
+            for &oid in &self.by_channel[ch] {
+                if oid == tx_id {
+                    continue;
+                }
+                let slot = self.tx_index[&oid];
+                let o = &self.txs[slot];
+                if o.start < tx_end && tx_start < o.end {
+                    interferers.push(slot);
+                }
+            }
+        }
+        interferers.sort_unstable_by_key(|&s| self.txs[s].id);
+
         let noise_mw = dbm_to_mw(self.params.noise_floor_dbm);
         let mut out = Vec::new();
         let mut halfduplex_misses = 0;
         let mut sinr_drops = 0;
 
-        for (ri, radio) in self.radios.iter().enumerate() {
+        for (ri, signal_dbm) in candidates {
+            let radio = &self.radios[ri];
             let rid = RadioId(ri as u32);
-            if rid == tx.src || !radio.enabled || radio.channel != tx.channel {
+            if rid == tx_src || !radio.enabled || radio.channel != tx_channel {
                 continue;
             }
-            let signal_dbm = match tx.rx_power_dbm.get(ri) {
-                Some(&p) => p,
-                None => continue, // radio registered mid-flight
-            };
-            if signal_dbm < tx.bitrate.sensitivity_dbm() {
+            if signal_dbm < tx_bitrate.sensitivity_dbm() {
                 continue;
             }
-            // Half-duplex: a radio that transmitted during any part of our
-            // airtime heard nothing.
-            let was_transmitting = self
-                .txs
-                .iter()
-                .any(|o| o.id != tx.id && o.src == rid && overlaps(o, tx));
+            // Half-duplex: a radio that transmitted during any part of
+            // our airtime heard nothing.
+            let was_transmitting = self.by_src.get(&rid.0).is_some_and(|own| {
+                own.iter().any(|&oid| {
+                    if oid == tx_id {
+                        return false;
+                    }
+                    let o = &self.txs[self.tx_index[&oid]];
+                    o.start < tx_end && tx_start < o.end
+                })
+            });
             if was_transmitting {
                 halfduplex_misses += 1;
                 continue;
             }
             // Interference from every other overlapping transmission.
             let mut interf_mw = 0.0;
-            for o in &self.txs {
-                if o.id == tx.id || !overlaps(o, tx) || o.src == rid {
+            for &slot in &interferers {
+                let o = &self.txs[slot];
+                if o.src == rid {
                     continue;
                 }
                 let offset = o.channel.abs_diff(radio.channel);
                 let Some(rej) = aci_rejection_db(offset) else {
                     continue;
                 };
-                if let Some(&p) = o.rx_power_dbm.get(ri) {
+                if let Some(p) = self.rx_power_at(o, ri) {
                     interf_mw += dbm_to_mw(p - rej);
                 }
             }
             let sinr_db = signal_dbm - 10.0 * (noise_mw + interf_mw).log10();
-            if sinr_db < tx.bitrate.sinr_threshold_db() {
+            if sinr_db < tx_bitrate.sinr_threshold_db() {
                 sinr_drops += 1;
                 continue;
             }
             out.push(Delivery {
                 to: rid,
-                bytes: tx.bytes.clone(),
+                bytes: tx_bytes.clone(),
                 rssi_dbm: signal_dbm,
-                channel: tx.channel,
-                bitrate: tx.bitrate,
+                channel: tx_channel,
+                bitrate: tx_bitrate,
             });
         }
         self.halfduplex_misses += halfduplex_misses;
@@ -308,20 +578,27 @@ impl Medium {
 
     /// Carrier sense: is any in-flight transmission audible at `radio`
     /// above the CCA threshold (including adjacent-channel energy)?
+    /// Walks only the channel buckets within the interaction span; a
+    /// sparse tx with no stored sample for `radio` is below the audible
+    /// floor and can never trip CCA.
     pub fn channel_busy(&self, now: SimTime, radio: RadioId) -> bool {
         let r = &self.radios[radio.0 as usize];
-        self.txs.iter().any(|t| {
-            t.start <= now
-                && now < t.end
-                && t.src != radio
-                && aci_rejection_db(t.channel.abs_diff(r.channel))
-                    .map(|rej| {
-                        t.rx_power_dbm
-                            .get(radio.0 as usize)
-                            .is_some_and(|&p| p - rej >= self.params.cca_threshold_dbm)
-                    })
-                    .unwrap_or(false)
-        })
+        for ch in interacting_channels(r.channel) {
+            for &oid in &self.by_channel[ch] {
+                let t = &self.txs[self.tx_index[&oid]];
+                if t.start <= now && now < t.end && t.src != radio {
+                    let Some(rej) = aci_rejection_db(t.channel.abs_diff(r.channel)) else {
+                        continue;
+                    };
+                    if stored_rx_power_at(t, radio.0 as usize)
+                        .is_some_and(|p| p - rej >= self.params.cca_threshold_dbm)
+                    {
+                        return true;
+                    }
+                }
+            }
+        }
+        false
     }
 
     /// Number of registered radios.
@@ -336,6 +613,41 @@ impl Medium {
         self.txs.len()
     }
 
+    /// Total `(radio, dBm)` received-power entries stored across all
+    /// retained transmissions — the per-tx power-map memory footprint:
+    /// O(registry) per dense tx, O(audible) per sparse tx. Exposed for
+    /// tests and benches.
+    pub fn power_map_entries(&self) -> usize {
+        self.txs
+            .iter()
+            .map(|t| match &t.power {
+                TxPower::Dense(v) => v.len(),
+                TxPower::Sparse { audible, overrides } => audible.len() + overrides.len(),
+            })
+            .sum()
+    }
+
+    /// Pairwise path-loss cache statistics: (pairs cached, hits,
+    /// misses). Exposed for tests and metrics mirroring.
+    pub fn pathloss_cache_stats(&self) -> (usize, u64, u64) {
+        self.cache.stats()
+    }
+
+    /// `begin_tx` calls served by a cached audible row (sparse path
+    /// only). Exposed for tests and metrics mirroring.
+    pub fn audible_rows_reused(&self) -> u64 {
+        self.row_reuses
+    }
+
+    /// Validation hook: route every subsequent `begin_tx` through the
+    /// dense O(registry) fill even at σ == 0, exactly as the pre-cull
+    /// medium did. The sparse fast path is required to be delivery- and
+    /// counter-identical to this reference (see the
+    /// `medium_sparse_equiv` property suite).
+    pub fn force_dense(&mut self, on: bool) {
+        self.force_dense = on;
+    }
+
     /// Drop completed transmissions that can no longer overlap anything.
     ///
     /// A completed record matters only while it can interfere with a
@@ -343,7 +655,8 @@ impl Medium {
     /// `now` or after). Both are bounded below by `horizon`: the
     /// earliest in-flight start, or `now` when the air is clear. A
     /// completed tx ending at or before `horizon` can never satisfy
-    /// `overlaps` again, so dropping it cannot change any SINR sum.
+    /// the overlap test again, so dropping it cannot change any SINR
+    /// sum.
     fn prune(&mut self, now: SimTime) {
         let horizon = self
             .txs
@@ -352,12 +665,47 @@ impl Medium {
             .map(|t| t.start)
             .min()
             .unwrap_or(now);
+        let before = self.txs.len();
         self.txs.retain(|t| !t.completed || t.end > horizon);
+        if self.txs.len() != before {
+            self.reindex();
+        }
+    }
+
+    /// Rebuild the id→slot map and the channel / source buckets after
+    /// `retain` shifted slots. The backlog is O(in-flight), so this is
+    /// cheap; ids stay ascending within every bucket because `retain`
+    /// preserves order.
+    fn reindex(&mut self) {
+        self.tx_index.clear();
+        for bucket in &mut self.by_channel {
+            bucket.clear();
+        }
+        self.by_src.clear();
+        for (slot, t) in self.txs.iter().enumerate() {
+            self.tx_index.insert(t.id, slot);
+            self.by_channel[t.channel as usize].push(t.id);
+            self.by_src.entry(t.src.0).or_default().push(t.id);
+        }
     }
 }
 
-fn overlaps(a: &Transmission, b: &Transmission) -> bool {
-    a.start < b.end && b.start < a.end
+/// The power sample `tx` stored for radio `ri`, if any. A sparse miss
+/// means the radio sat below the audible floor at begin time (or
+/// registered mid-flight) — enough to rule out decode and CCA without
+/// touching geometry.
+fn stored_rx_power_at(tx: &Transmission, ri: usize) -> Option<f64> {
+    if ri as u32 >= tx.radios_at_start {
+        return None;
+    }
+    match &tx.power {
+        TxPower::Dense(v) => v.get(ri).copied(),
+        TxPower::Sparse { audible, overrides } => audible
+            .binary_search_by_key(&(ri as u32), |e| e.0)
+            .ok()
+            .map(|k| audible[k].1)
+            .or_else(|| overrides.iter().find(|e| e.0 == ri as u32).map(|e| e.1)),
+    }
 }
 
 #[cfg(test)]
@@ -648,5 +996,147 @@ mod tests {
             assert_eq!(x.rssi_dbm, y.rssi_dbm, "same seed, same shadowing");
             assert_ne!(x.rssi_dbm, -55.0, "shadowing actually applied");
         }
+    }
+
+    // ------------------------------------------------------------------
+    // Sparse fast-path regression tests (cache / cull / overlap index)
+    // ------------------------------------------------------------------
+
+    #[test]
+    fn sparse_power_maps_stay_o_audible() {
+        let mut m = medium();
+        // A 40×40 grid at 100 m pitch: ~4 km on a side, far beyond the
+        // ~200 m decode horizon of any single transmitter.
+        let mut ids = Vec::new();
+        for i in 0..1600u32 {
+            let pos = Pos::new((i % 40) as f64 * 100.0, (i / 40) as f64 * 100.0);
+            ids.push(m.add_radio(pos, 1, 15.0));
+        }
+        let (h, end) = m.begin_tx(SimTime::ZERO, ids[0], bytes(100), Bitrate::B1);
+        let stored = m.power_map_entries();
+        assert!(
+            stored < 32,
+            "corner radio must store a neighbourhood, not the registry ({stored})"
+        );
+        let ds = m.complete_tx(end, h);
+        assert!(!ds.is_empty(), "neighbours still decode at 1 Mbps");
+    }
+
+    #[test]
+    fn audible_rows_are_reused_until_geometry_changes() {
+        let mut m = medium();
+        let a = m.add_radio(Pos::new(0.0, 0.0), 1, 15.0);
+        let b = m.add_radio(Pos::new(10.0, 0.0), 1, 15.0);
+        let mut t = SimTime::ZERO;
+        for _ in 0..10 {
+            let (h, end) = m.begin_tx(t, a, bytes(10), Bitrate::B11);
+            m.complete_tx(end, h);
+            t = end;
+        }
+        assert_eq!(m.audible_rows_reused(), 9, "row rebuilt only once");
+        m.set_pos(b, Pos::new(20.0, 0.0));
+        let (h, end) = m.begin_tx(t, a, bytes(10), Bitrate::B11);
+        m.complete_tx(end, h);
+        assert_eq!(m.audible_rows_reused(), 9, "move must invalidate the row");
+    }
+
+    #[test]
+    fn set_pos_invalidates_cache_and_deliveries_track_the_move() {
+        let mut m = medium();
+        let a = m.add_radio(Pos::new(0.0, 0.0), 1, 15.0);
+        let b = m.add_radio(Pos::new(2000.0, 0.0), 1, 15.0);
+        let fire = |m: &mut Medium, t: SimTime| {
+            let (h, end) = m.begin_tx(t, a, bytes(10), Bitrate::B11);
+            (m.complete_tx(end, h), end)
+        };
+        let (ds, t1) = fire(&mut m, SimTime::ZERO);
+        assert!(ds.is_empty(), "b starts out of range");
+        // Walk b into range: the cached loss for (a, b) must refresh.
+        m.set_pos(b, Pos::new(10.0, 0.0));
+        assert!((m.rssi_estimate_dbm(a, b) - -55.0).abs() < 1e-9);
+        let (ds, t2) = fire(&mut m, t1);
+        assert_eq!(ds.len(), 1, "after the move b decodes");
+        assert_eq!(ds[0].to, b);
+        // And back out again.
+        m.set_pos(b, Pos::new(2000.0, 0.0));
+        let (ds, _) = fire(&mut m, t2);
+        assert!(ds.is_empty(), "stale cache must not deliver to a far radio");
+    }
+
+    #[test]
+    fn midflight_move_keeps_begin_time_power() {
+        // Dense semantics: power is sampled at begin_tx. A radio that
+        // walks out of range mid-flight still decodes; one that walks
+        // into range mid-flight still misses.
+        let mut m = medium();
+        let a = m.add_radio(Pos::new(0.0, 0.0), 1, 15.0);
+        let near = m.add_radio(Pos::new(10.0, 0.0), 1, 15.0);
+        let far = m.add_radio(Pos::new(2000.0, 0.0), 1, 15.0);
+        let (h, end) = m.begin_tx(SimTime::ZERO, a, bytes(500), Bitrate::B1);
+        m.set_pos(near, Pos::new(2000.0, 100.0));
+        m.set_pos(far, Pos::new(10.0, 10.0));
+        let ds = m.complete_tx(end, h);
+        assert!(
+            ds.iter().any(|d| d.to == near),
+            "begin-time power decodes even after walking away"
+        );
+        assert!(
+            !ds.iter().any(|d| d.to == far),
+            "begin-time power still out of range after walking in"
+        );
+    }
+
+    #[test]
+    fn midflight_move_pins_interference_sample() {
+        // An interferer's victim-side power is read at complete time; a
+        // mid-flight move of the victim must not rewrite the begin-era
+        // sample. Run the same schedule sparse and forced-dense and
+        // require bit-identical deliveries and counters.
+        let run = |force_dense: bool| {
+            let mut m = medium();
+            let a = m.add_radio(Pos::new(0.0, 0.0), 1, 15.0);
+            let b = m.add_radio(Pos::new(20.0, 0.0), 1, 15.0);
+            let victim = m.add_radio(Pos::new(10.0, 0.0), 1, 15.0);
+            m.force_dense(force_dense);
+            let (h1, e1) = m.begin_tx(SimTime::ZERO, a, bytes(200), Bitrate::B11);
+            let (h2, e2) = m.begin_tx(SimTime::ZERO, b, bytes(200), Bitrate::B11);
+            m.set_pos(victim, Pos::new(11.0, 3.0));
+            let d1 = m.complete_tx(e1, h1);
+            let d2 = m.complete_tx(e2, h2);
+            let sig: Vec<(u32, u64)> = d1
+                .iter()
+                .chain(d2.iter())
+                .map(|d| (d.to.0, d.rssi_dbm.to_bits()))
+                .collect();
+            (sig, m.halfduplex_misses, m.sinr_drops)
+        };
+        assert_eq!(run(false), run(true));
+    }
+
+    #[test]
+    fn midflight_registered_then_moved_radio_stays_out_of_range() {
+        let mut m = medium();
+        let a = m.add_radio(Pos::new(0.0, 0.0), 1, 15.0);
+        let (h, end) = m.begin_tx(SimTime::ZERO, a, bytes(500), Bitrate::B1);
+        // Registered mid-flight, then moved mid-flight: still invisible
+        // to the in-flight tx (no begin-time sample, no override).
+        let late = m.add_radio(Pos::new(5.0, 0.0), 1, 15.0);
+        m.set_pos(late, Pos::new(3.0, 0.0));
+        let ds = m.complete_tx(end, h);
+        assert!(!ds.iter().any(|d| d.to == late));
+        assert_eq!((m.halfduplex_misses, m.sinr_drops), (0, 0));
+    }
+
+    #[test]
+    fn rssi_estimate_serves_from_cache() {
+        let mut m = medium();
+        let a = m.add_radio(Pos::new(0.0, 0.0), 1, 15.0);
+        let b = m.add_radio(Pos::new(10.0, 0.0), 1, 15.0);
+        let first = m.rssi_estimate_dbm(a, b);
+        let (_, hits0, _) = m.pathloss_cache_stats();
+        let second = m.rssi_estimate_dbm(b, a);
+        let (_, hits1, _) = m.pathloss_cache_stats();
+        assert_eq!(first.to_bits(), second.to_bits(), "symmetric estimate");
+        assert!(hits1 > hits0, "reverse direction must hit the cache");
     }
 }

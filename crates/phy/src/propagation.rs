@@ -90,6 +90,10 @@ impl Bitrate {
         }
     }
 
+    /// The weakest sensitivity across all rates (1 Mbps DBPSK): below
+    /// this RSSI a frame is undecodable at *any* rate.
+    pub const MIN_SENSITIVITY_DBM: f64 = Bitrate::B1.sensitivity_dbm();
+
     /// Long-preamble PLCP overhead: 144 µs preamble + 48 µs header, always
     /// at 1 Mbps.
     pub const PLCP_OVERHEAD: SimDuration = SimDuration(192_000);
@@ -110,6 +114,22 @@ impl Bitrate {
 pub fn path_loss_db(distance_m: f64, ref_loss_db: f64, exponent: f64) -> f64 {
     let d = distance_m.max(1.0);
     ref_loss_db + 10.0 * exponent * d.log10()
+}
+
+/// Maximum distance at which a transmitter at `tx_power_dbm` is still
+/// received at or above `floor_dbm` under log-distance path loss — the
+/// radius the spatial cull scans. Returns `f64::INFINITY` when the model
+/// cannot attenuate below the floor (non-positive exponent) and `0.0`
+/// when even the 1 m reference loss leaves the signal below the floor.
+pub fn max_range_m(tx_power_dbm: f64, floor_dbm: f64, ref_loss_db: f64, exponent: f64) -> f64 {
+    let budget_db = tx_power_dbm - ref_loss_db - floor_dbm;
+    if budget_db < 0.0 {
+        return 0.0;
+    }
+    if exponent <= 0.0 {
+        return f64::INFINITY;
+    }
+    10f64.powf(budget_db / (10.0 * exponent)).max(1.0)
 }
 
 /// dBm → milliwatts.
@@ -179,6 +199,27 @@ mod tests {
         // Channels 1 and 6: the paper's Figure 1 configuration — no mutual
         // interference.
         assert_eq!(aci_rejection_db(6 - 1), None);
+    }
+
+    #[test]
+    fn max_range_inverts_path_loss() {
+        // At the computed range the signal sits exactly on the floor;
+        // one metre past it, below.
+        let r = max_range_m(15.0, -94.0, 40.0, 3.0);
+        assert!((15.0 - path_loss_db(r, 40.0, 3.0) - -94.0).abs() < 1e-6);
+        assert!(15.0 - path_loss_db(r + 1.0, 40.0, 3.0) < -94.0);
+        // Degenerate cases: no budget → 0; no attenuation → unbounded;
+        // budget inside the 1 m clamp → clamped to 1 m.
+        assert_eq!(max_range_m(15.0, 20.0, 40.0, 3.0), 0.0);
+        assert_eq!(max_range_m(15.0, -94.0, 40.0, 0.0), f64::INFINITY);
+        assert_eq!(max_range_m(15.0, -25.0, 40.0, 3.0), 1.0);
+    }
+
+    #[test]
+    fn min_sensitivity_is_the_weakest_rate() {
+        for r in [Bitrate::B1, Bitrate::B2, Bitrate::B5_5, Bitrate::B11] {
+            assert!(Bitrate::MIN_SENSITIVITY_DBM <= r.sensitivity_dbm());
+        }
     }
 
     #[test]
