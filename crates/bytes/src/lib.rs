@@ -103,6 +103,25 @@ impl Bytes {
     pub fn to_vec(&self) -> Vec<u8> {
         self.as_ref().to_vec()
     }
+
+    /// Mutable view of this buffer's range, granted only when this
+    /// handle is the *sole* owner of a heap allocation (refcount 1, not
+    /// static data). Lets a consumer that holds the last reference —
+    /// e.g. the VPN record layer decrypting a just-received record —
+    /// transform bytes in place instead of copying to a fresh `Vec`.
+    /// Returns `None` for shared or static buffers, in which case the
+    /// caller must fall back to a copy; the zero-copy contract of
+    /// DESIGN.md §10 is preserved because mutation is only possible
+    /// when provably unobservable by any other holder.
+    pub fn try_mut(&mut self) -> Option<&mut [u8]> {
+        match &mut self.data {
+            Repr::Shared(arc) => {
+                let all = Arc::get_mut(arc)?;
+                Some(&mut all[self.start..self.end])
+            }
+            Repr::Static(_) => None,
+        }
+    }
 }
 
 impl Default for Bytes {

@@ -603,6 +603,24 @@ impl World {
             "phy.power_map_entries",
             self.medium.power_map_entries() as u64,
         );
+        // Mirror the VPN record-layer counters (summed over every tun
+        // binding) the same way: `vpn.bytes_copied` staying 0 is the
+        // observable proof the zero-copy record path held (DESIGN §12).
+        let (mut sealed, mut opened, mut copied) = (0u64, 0u64, 0u64);
+        for node in &self.nodes {
+            if let Some(tun) = &node.tun {
+                let (s, o, c) = match &tun.role {
+                    TunRole::Client(cl) => cl.record_stats(),
+                    TunRole::Server(sv) => sv.record_stats(),
+                };
+                sealed += s;
+                opened += o;
+                copied += c;
+            }
+        }
+        self.metrics.set("vpn.records_sealed", sealed);
+        self.metrics.set("vpn.records_opened", opened);
+        self.metrics.set("vpn.bytes_copied", copied);
     }
 
     fn receive_on_radio(

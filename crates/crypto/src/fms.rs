@@ -60,9 +60,24 @@ impl Sample {
 /// }
 /// assert_eq!(kr.crack(5).key, secret);
 /// ```
-#[derive(Clone, Debug, Default)]
+#[derive(Clone, Debug)]
 pub struct KeyRecovery {
-    samples: Vec<Sample>,
+    /// Samples bucketed by `iv[0]` — the only IVs that can resolve
+    /// secret byte `a` have `iv[0] == a + 3`, so `crack` scans exactly
+    /// one bucket per key-byte position instead of every sample for
+    /// every position. Insertion order is preserved within a bucket,
+    /// so votes (and ties) are identical to the flat scan.
+    buckets: Vec<Vec<Sample>>,
+    count: usize,
+}
+
+impl Default for KeyRecovery {
+    fn default() -> Self {
+        KeyRecovery {
+            buckets: vec![Vec::new(); 256],
+            count: 0,
+        }
+    }
 }
 
 /// Result of a crack attempt.
@@ -84,22 +99,25 @@ impl KeyRecovery {
 
     /// Number of samples collected so far.
     pub fn len(&self) -> usize {
-        self.samples.len()
+        self.count
     }
 
     /// True when no samples have been absorbed.
     pub fn is_empty(&self) -> bool {
-        self.samples.is_empty()
+        self.count == 0
     }
 
     /// Absorb one observation.
     pub fn absorb(&mut self, s: Sample) {
-        self.samples.push(s);
+        self.buckets[s.iv[0] as usize].push(s);
+        self.count += 1;
     }
 
     /// Absorb many observations.
     pub fn absorb_all(&mut self, it: impl IntoIterator<Item = Sample>) {
-        self.samples.extend(it);
+        for s in it {
+            self.absorb(s);
+        }
     }
 
     /// Attempt to recover a secret key of `key_len` bytes (5 or 13).
@@ -116,16 +134,12 @@ impl KeyRecovery {
             let target = a + 3; // full-key index being attacked
             let mut votes = [0u32; 256];
             let mut resolved = 0u32;
-            for s in &self.samples {
-                // Only IVs whose first byte equals the target index can be
-                // resolved for this position with the classic structure;
-                // testing all IVs also works but costs ~key_len more KSA
-                // simulations for no extra votes in the sequential-IV
-                // setting. We test the general resolved condition but skip
-                // obvious non-candidates early.
-                if s.iv[0] as usize != target {
-                    continue;
-                }
+            // Only IVs whose first byte equals the target index can be
+            // resolved for this position with the classic structure;
+            // the absorb-time buckets hand us exactly those samples, so
+            // each position scans its own bucket instead of the whole
+            // capture (E4 calls crack 10 replications × 8 cells per run).
+            for s in &self.buckets[target] {
                 if let Some(vote) = fms_vote(s, &recovered, target) {
                     votes[vote as usize] += 1;
                     resolved += 1;

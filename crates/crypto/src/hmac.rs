@@ -10,31 +10,99 @@ use crate::sha1::Sha1;
 
 const BLOCK: usize = 64;
 
-/// HMAC-SHA1 of `msg` under `key`, full 20-byte tag.
-pub fn hmac_sha1(key: &[u8], msg: &[u8]) -> [u8; 20] {
-    let mut k = [0u8; BLOCK];
-    if key.len() > BLOCK {
-        let d = {
-            let mut h = Sha1::new();
-            h.update(key);
-            h.finalize()
-        };
-        k[..20].copy_from_slice(&d);
-    } else {
-        k[..key.len()].copy_from_slice(key);
+/// HMAC-SHA1 with the key's inner/outer pad blocks pre-absorbed.
+///
+/// The first SHA-1 compression of both the inner and outer hash depends
+/// only on the key, so a long-lived MAC key (the VPN record layer holds
+/// one per direction per session) can pay for those two compressions
+/// once. Each [`mac`](Self::mac) / [`begin`](Self::begin) then *resumes*
+/// the stored midstates — two compression-function resumes per record
+/// instead of two full keyed hashes. Tags are bit-identical to
+/// [`hmac_sha1`].
+#[derive(Clone)]
+pub struct HmacSha1 {
+    inner: Sha1,
+    outer: Sha1,
+}
+
+impl HmacSha1 {
+    /// Derive the pad midstates from `key` (hashed first when longer
+    /// than the block size, per RFC 2104).
+    pub fn new(key: &[u8]) -> HmacSha1 {
+        let mut k = [0u8; BLOCK];
+        if key.len() > BLOCK {
+            let d = {
+                let mut h = Sha1::new();
+                h.update(key);
+                h.finalize()
+            };
+            k[..20].copy_from_slice(&d);
+        } else {
+            k[..key.len()].copy_from_slice(key);
+        }
+        let mut ipad = [0u8; BLOCK];
+        let mut opad = [0u8; BLOCK];
+        for i in 0..BLOCK {
+            ipad[i] = k[i] ^ 0x36;
+            opad[i] = k[i] ^ 0x5C;
+        }
+        let mut inner = Sha1::new();
+        inner.update(&ipad);
+        let mut outer = Sha1::new();
+        outer.update(&opad);
+        HmacSha1 { inner, outer }
     }
 
-    let mut inner = Sha1::new();
-    let ipad: Vec<u8> = k.iter().map(|b| b ^ 0x36).collect();
-    inner.update(&ipad);
-    inner.update(msg);
-    let inner_digest = inner.finalize();
+    /// Start a streaming MAC computation from the stored midstates.
+    pub fn begin(&self) -> HmacSha1Ctx {
+        HmacSha1Ctx {
+            inner: self.inner.clone(),
+            outer: self.outer.clone(),
+        }
+    }
 
-    let mut outer = Sha1::new();
-    let opad: Vec<u8> = k.iter().map(|b| b ^ 0x5C).collect();
-    outer.update(&opad);
-    outer.update(&inner_digest);
-    outer.finalize()
+    /// One-shot tag over `msg`.
+    pub fn mac(&self, msg: &[u8]) -> [u8; 20] {
+        let mut ctx = self.begin();
+        ctx.update(msg);
+        ctx.finalize()
+    }
+}
+
+/// An in-progress MAC resumed from [`HmacSha1`] midstates. Feed message
+/// parts with [`update`](Self::update) (so callers never assemble a
+/// contiguous `seq ∥ ciphertext` buffer) and close with
+/// [`finalize`](Self::finalize).
+pub struct HmacSha1Ctx {
+    inner: Sha1,
+    outer: Sha1,
+}
+
+impl HmacSha1Ctx {
+    /// Absorb a message part.
+    pub fn update(&mut self, part: &[u8]) {
+        self.inner.update(part);
+    }
+
+    /// Produce the full 20-byte tag.
+    pub fn finalize(mut self) -> [u8; 20] {
+        let inner_digest = self.inner.finalize();
+        self.outer.update(&inner_digest);
+        self.outer.finalize()
+    }
+
+    /// Produce the truncated 96-bit wire tag.
+    pub fn finalize_96(self) -> [u8; 12] {
+        let full = self.finalize();
+        let mut out = [0u8; 12];
+        out.copy_from_slice(&full[..12]);
+        out
+    }
+}
+
+/// HMAC-SHA1 of `msg` under `key`, full 20-byte tag.
+pub fn hmac_sha1(key: &[u8], msg: &[u8]) -> [u8; 20] {
+    HmacSha1::new(key).mac(msg)
 }
 
 /// HMAC-SHA1 truncated to 12 bytes (the common 96-bit wire tag).
@@ -131,6 +199,39 @@ mod tests {
         let t = hmac_sha1(b"k", b"m");
         let t96 = hmac_sha1_96(b"k", b"m");
         assert_eq!(&t[..12], &t96[..]);
+    }
+
+    /// Midstate resumes must be bit-identical to the direct keyed hash,
+    /// for every key-size class (short, block-size, hashed-down long)
+    /// and for split message feeding.
+    #[test]
+    fn midstate_matches_direct() {
+        let keys: [&[u8]; 4] = [b"k", &[0x0b; 20], &[0x7E; 64], &[0xaa; 80]];
+        let msg = b"seq-and-ciphertext-shaped message body";
+        for key in keys {
+            let pre = HmacSha1::new(key);
+            assert_eq!(pre.mac(msg), hmac_sha1(key, msg));
+            // Streaming over parts == one-shot over the concatenation.
+            for split in 0..msg.len() {
+                let mut ctx = pre.begin();
+                ctx.update(&msg[..split]);
+                ctx.update(&msg[split..]);
+                assert_eq!(ctx.finalize(), hmac_sha1(key, msg), "split {split}");
+            }
+            // finalize_96 is the tag prefix.
+            let mut ctx = pre.begin();
+            ctx.update(msg);
+            assert_eq!(ctx.finalize_96(), hmac_sha1_96(key, msg));
+        }
+    }
+
+    /// One midstate object serves many messages without cross-talk.
+    #[test]
+    fn midstate_is_reusable() {
+        let pre = HmacSha1::new(b"session-mac-key");
+        let a1 = pre.mac(b"first record");
+        let _ = pre.mac(b"second record");
+        assert_eq!(pre.mac(b"first record"), a1);
     }
 
     #[test]

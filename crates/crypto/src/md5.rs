@@ -79,10 +79,17 @@ impl Md5 {
     /// Finish and produce the 16-byte digest.
     pub fn finalize(mut self) -> [u8; 16] {
         let bit_len = self.total_len.wrapping_mul(8);
-        self.update(&[0x80]);
-        while self.buf_len != 56 {
-            self.update(&[0]);
-        }
+        // One-shot padding (0x80 then zeros to 56 mod 64) instead of
+        // byte-at-a-time `update(&[0])` calls; compresses the same bytes.
+        let mut pad = [0u8; 64];
+        pad[0] = 0x80;
+        let pad_len = if self.buf_len < 56 {
+            56 - self.buf_len
+        } else {
+            120 - self.buf_len
+        };
+        self.update(&pad[..pad_len]);
+        debug_assert_eq!(self.buf_len, 56);
         // Append original length in bits, little-endian, without counting it.
         let mut block = self.buf;
         block[56..64].copy_from_slice(&bit_len.to_le_bytes());

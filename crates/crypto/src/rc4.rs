@@ -43,10 +43,24 @@ impl Rc4 {
     }
 
     /// XOR the keystream into `data` in place (encrypt == decrypt).
+    ///
+    /// The PRGA state is hoisted into locals for the whole slice so the
+    /// per-byte loop runs on registers instead of round-tripping `i`/`j`
+    /// through `self`; output is bit-identical to repeated
+    /// [`next_byte`](Self::next_byte). This in-place path is what WEP
+    /// seal/open use to avoid intermediate keystream vectors.
     pub fn apply_keystream(&mut self, data: &mut [u8]) {
+        let mut i = self.i;
+        let mut j = self.j;
         for b in data {
-            *b ^= self.next_byte();
+            i = i.wrapping_add(1);
+            j = j.wrapping_add(self.s[i as usize]);
+            self.s.swap(i as usize, j as usize);
+            let idx = self.s[i as usize].wrapping_add(self.s[j as usize]);
+            *b ^= self.s[idx as usize];
         }
+        self.i = i;
+        self.j = j;
     }
 
     /// Convenience: encrypt/decrypt into a fresh vector.
@@ -57,10 +71,18 @@ impl Rc4 {
     }
 
     /// Skip `n` keystream bytes (used by tests and the FMS oracle).
+    /// Advances the permutation without materializing output bytes;
+    /// state after `skip(n)` is identical to `n` `next_byte` calls.
     pub fn skip(&mut self, n: usize) {
+        let mut i = self.i;
+        let mut j = self.j;
         for _ in 0..n {
-            self.next_byte();
+            i = i.wrapping_add(1);
+            j = j.wrapping_add(self.s[i as usize]);
+            self.s.swap(i as usize, j as usize);
         }
+        self.i = i;
+        self.j = j;
     }
 }
 

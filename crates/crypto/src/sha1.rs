@@ -10,6 +10,22 @@ pub struct Sha1 {
     buf: [u8; 64],
     buf_len: usize,
     total_len: u64,
+    #[cfg_attr(not(target_arch = "x86_64"), allow(dead_code))]
+    use_shani: bool,
+}
+
+/// Runtime check for the x86 SHA extensions (plus the SSSE3/SSE4.1 ops
+/// the SHA-NI compression path uses for byte shuffles and extraction).
+#[cfg(target_arch = "x86_64")]
+fn shani_available() -> bool {
+    std::arch::is_x86_feature_detected!("sha")
+        && std::arch::is_x86_feature_detected!("ssse3")
+        && std::arch::is_x86_feature_detected!("sse4.1")
+}
+
+#[cfg(not(target_arch = "x86_64"))]
+fn shani_available() -> bool {
+    false
 }
 
 impl Default for Sha1 {
@@ -26,7 +42,16 @@ impl Sha1 {
             buf: [0u8; 64],
             buf_len: 0,
             total_len: 0,
+            use_shani: shani_available(),
         }
+    }
+
+    /// Force the portable compression path. Test hook for pinning the
+    /// SHA-NI path bit-for-bit against the scalar one; digests are
+    /// identical either way.
+    #[doc(hidden)]
+    pub fn disable_acceleration(&mut self) {
+        self.use_shani = false;
     }
 
     /// Absorb bytes.
@@ -58,10 +83,17 @@ impl Sha1 {
     /// Finish and produce the 20-byte digest.
     pub fn finalize(mut self) -> [u8; 20] {
         let bit_len = self.total_len.wrapping_mul(8);
-        self.update(&[0x80]);
-        while self.buf_len != 56 {
-            self.update(&[0]);
-        }
+        // One-shot padding (0x80 then zeros to 56 mod 64) instead of
+        // byte-at-a-time `update(&[0])` calls; compresses the same bytes.
+        let mut pad = [0u8; 64];
+        pad[0] = 0x80;
+        let pad_len = if self.buf_len < 56 {
+            56 - self.buf_len
+        } else {
+            120 - self.buf_len
+        };
+        self.update(&pad[..pad_len]);
+        debug_assert_eq!(self.buf_len, 56);
         let mut block = self.buf;
         block[56..64].copy_from_slice(&bit_len.to_be_bytes());
         self.compress(&block);
@@ -73,6 +105,17 @@ impl Sha1 {
     }
 
     fn compress(&mut self, block: &[u8; 64]) {
+        #[cfg(target_arch = "x86_64")]
+        if self.use_shani {
+            // SAFETY: `use_shani` is only set after runtime detection of
+            // the sha/ssse3/sse4.1 features.
+            unsafe { compress_shani(&mut self.state, block) };
+            return;
+        }
+        self.compress_scalar(block);
+    }
+
+    fn compress_scalar(&mut self, block: &[u8; 64]) {
         let mut w = [0u32; 80];
         for (i, word) in w.iter_mut().take(16).enumerate() {
             *word = u32::from_be_bytes(block[i * 4..i * 4 + 4].try_into().unwrap());
@@ -106,6 +149,178 @@ impl Sha1 {
         self.state[3] = self.state[3].wrapping_add(d);
         self.state[4] = self.state[4].wrapping_add(e);
     }
+}
+
+/// SHA-NI compression: the 80 rounds run as twenty `sha1rnds4`
+/// four-round instructions, with the message schedule kept in four XMM
+/// registers and extended by `sha1msg1`/`sha1msg2`. The round constants
+/// are baked into `sha1rnds4`'s immediate (0-3 selects the K for rounds
+/// 0-19/20-39/40-59/60-79), so the state update is bit-identical to the
+/// scalar loop.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "sha,ssse3,sse4.1")]
+unsafe fn compress_shani(state: &mut [u32; 5], block: &[u8; 64]) {
+    use std::arch::x86_64::*;
+
+    // Big-endian word loads via one byte shuffle per 16 message bytes.
+    let mask = _mm_set_epi64x(0x0001020304050607u64 as i64, 0x08090a0b0c0d0e0fu64 as i64);
+
+    let mut abcd = _mm_loadu_si128(state.as_ptr() as *const __m128i);
+    abcd = _mm_shuffle_epi32(abcd, 0x1B); // lanes -> (a,b,c,d) high-to-low
+    let mut e0 = _mm_set_epi32(state[4] as i32, 0, 0, 0);
+    let abcd_save = abcd;
+    let e_save = e0;
+
+    let mut msg0 = _mm_shuffle_epi8(_mm_loadu_si128(block.as_ptr() as *const __m128i), mask);
+    let mut msg1 = _mm_shuffle_epi8(
+        _mm_loadu_si128(block.as_ptr().add(16) as *const __m128i),
+        mask,
+    );
+    let mut msg2 = _mm_shuffle_epi8(
+        _mm_loadu_si128(block.as_ptr().add(32) as *const __m128i),
+        mask,
+    );
+    let mut msg3 = _mm_shuffle_epi8(
+        _mm_loadu_si128(block.as_ptr().add(48) as *const __m128i),
+        mask,
+    );
+    let mut e1;
+
+    // Rounds 0-3
+    e0 = _mm_add_epi32(e0, msg0);
+    e1 = abcd;
+    abcd = _mm_sha1rnds4_epu32(abcd, e0, 0);
+    // Rounds 4-7
+    e1 = _mm_sha1nexte_epu32(e1, msg1);
+    e0 = abcd;
+    abcd = _mm_sha1rnds4_epu32(abcd, e1, 0);
+    msg0 = _mm_sha1msg1_epu32(msg0, msg1);
+    // Rounds 8-11
+    e0 = _mm_sha1nexte_epu32(e0, msg2);
+    e1 = abcd;
+    abcd = _mm_sha1rnds4_epu32(abcd, e0, 0);
+    msg1 = _mm_sha1msg1_epu32(msg1, msg2);
+    msg0 = _mm_xor_si128(msg0, msg2);
+    // Rounds 12-15
+    e1 = _mm_sha1nexte_epu32(e1, msg3);
+    e0 = abcd;
+    msg0 = _mm_sha1msg2_epu32(msg0, msg3);
+    abcd = _mm_sha1rnds4_epu32(abcd, e1, 0);
+    msg2 = _mm_sha1msg1_epu32(msg2, msg3);
+    msg1 = _mm_xor_si128(msg1, msg3);
+    // Rounds 16-19
+    e0 = _mm_sha1nexte_epu32(e0, msg0);
+    e1 = abcd;
+    msg1 = _mm_sha1msg2_epu32(msg1, msg0);
+    abcd = _mm_sha1rnds4_epu32(abcd, e0, 0);
+    msg3 = _mm_sha1msg1_epu32(msg3, msg0);
+    msg2 = _mm_xor_si128(msg2, msg0);
+    // Rounds 20-23
+    e1 = _mm_sha1nexte_epu32(e1, msg1);
+    e0 = abcd;
+    msg2 = _mm_sha1msg2_epu32(msg2, msg1);
+    abcd = _mm_sha1rnds4_epu32(abcd, e1, 1);
+    msg0 = _mm_sha1msg1_epu32(msg0, msg1);
+    msg3 = _mm_xor_si128(msg3, msg1);
+    // Rounds 24-27
+    e0 = _mm_sha1nexte_epu32(e0, msg2);
+    e1 = abcd;
+    msg3 = _mm_sha1msg2_epu32(msg3, msg2);
+    abcd = _mm_sha1rnds4_epu32(abcd, e0, 1);
+    msg1 = _mm_sha1msg1_epu32(msg1, msg2);
+    msg0 = _mm_xor_si128(msg0, msg2);
+    // Rounds 28-31
+    e1 = _mm_sha1nexte_epu32(e1, msg3);
+    e0 = abcd;
+    msg0 = _mm_sha1msg2_epu32(msg0, msg3);
+    abcd = _mm_sha1rnds4_epu32(abcd, e1, 1);
+    msg2 = _mm_sha1msg1_epu32(msg2, msg3);
+    msg1 = _mm_xor_si128(msg1, msg3);
+    // Rounds 32-35
+    e0 = _mm_sha1nexte_epu32(e0, msg0);
+    e1 = abcd;
+    msg1 = _mm_sha1msg2_epu32(msg1, msg0);
+    abcd = _mm_sha1rnds4_epu32(abcd, e0, 1);
+    msg3 = _mm_sha1msg1_epu32(msg3, msg0);
+    msg2 = _mm_xor_si128(msg2, msg0);
+    // Rounds 36-39
+    e1 = _mm_sha1nexte_epu32(e1, msg1);
+    e0 = abcd;
+    msg2 = _mm_sha1msg2_epu32(msg2, msg1);
+    abcd = _mm_sha1rnds4_epu32(abcd, e1, 1);
+    msg0 = _mm_sha1msg1_epu32(msg0, msg1);
+    msg3 = _mm_xor_si128(msg3, msg1);
+    // Rounds 40-43
+    e0 = _mm_sha1nexte_epu32(e0, msg2);
+    e1 = abcd;
+    msg3 = _mm_sha1msg2_epu32(msg3, msg2);
+    abcd = _mm_sha1rnds4_epu32(abcd, e0, 2);
+    msg1 = _mm_sha1msg1_epu32(msg1, msg2);
+    msg0 = _mm_xor_si128(msg0, msg2);
+    // Rounds 44-47
+    e1 = _mm_sha1nexte_epu32(e1, msg3);
+    e0 = abcd;
+    msg0 = _mm_sha1msg2_epu32(msg0, msg3);
+    abcd = _mm_sha1rnds4_epu32(abcd, e1, 2);
+    msg2 = _mm_sha1msg1_epu32(msg2, msg3);
+    msg1 = _mm_xor_si128(msg1, msg3);
+    // Rounds 48-51
+    e0 = _mm_sha1nexte_epu32(e0, msg0);
+    e1 = abcd;
+    msg1 = _mm_sha1msg2_epu32(msg1, msg0);
+    abcd = _mm_sha1rnds4_epu32(abcd, e0, 2);
+    msg3 = _mm_sha1msg1_epu32(msg3, msg0);
+    msg2 = _mm_xor_si128(msg2, msg0);
+    // Rounds 52-55
+    e1 = _mm_sha1nexte_epu32(e1, msg1);
+    e0 = abcd;
+    msg2 = _mm_sha1msg2_epu32(msg2, msg1);
+    abcd = _mm_sha1rnds4_epu32(abcd, e1, 2);
+    msg0 = _mm_sha1msg1_epu32(msg0, msg1);
+    msg3 = _mm_xor_si128(msg3, msg1);
+    // Rounds 56-59
+    e0 = _mm_sha1nexte_epu32(e0, msg2);
+    e1 = abcd;
+    msg3 = _mm_sha1msg2_epu32(msg3, msg2);
+    abcd = _mm_sha1rnds4_epu32(abcd, e0, 2);
+    msg1 = _mm_sha1msg1_epu32(msg1, msg2);
+    msg0 = _mm_xor_si128(msg0, msg2);
+    // Rounds 60-63
+    e1 = _mm_sha1nexte_epu32(e1, msg3);
+    e0 = abcd;
+    msg0 = _mm_sha1msg2_epu32(msg0, msg3);
+    abcd = _mm_sha1rnds4_epu32(abcd, e1, 3);
+    msg2 = _mm_sha1msg1_epu32(msg2, msg3);
+    msg1 = _mm_xor_si128(msg1, msg3);
+    // Rounds 64-67
+    e0 = _mm_sha1nexte_epu32(e0, msg0);
+    e1 = abcd;
+    msg1 = _mm_sha1msg2_epu32(msg1, msg0);
+    abcd = _mm_sha1rnds4_epu32(abcd, e0, 3);
+    msg3 = _mm_sha1msg1_epu32(msg3, msg0);
+    msg2 = _mm_xor_si128(msg2, msg0);
+    // Rounds 68-71
+    e1 = _mm_sha1nexte_epu32(e1, msg1);
+    e0 = abcd;
+    msg2 = _mm_sha1msg2_epu32(msg2, msg1);
+    abcd = _mm_sha1rnds4_epu32(abcd, e1, 3);
+    msg3 = _mm_xor_si128(msg3, msg1);
+    // Rounds 72-75
+    e0 = _mm_sha1nexte_epu32(e0, msg2);
+    e1 = abcd;
+    msg3 = _mm_sha1msg2_epu32(msg3, msg2);
+    abcd = _mm_sha1rnds4_epu32(abcd, e0, 3);
+    // Rounds 76-79
+    e1 = _mm_sha1nexte_epu32(e1, msg3);
+    e0 = abcd;
+    abcd = _mm_sha1rnds4_epu32(abcd, e1, 3);
+
+    // Fold back into the chaining state.
+    e0 = _mm_sha1nexte_epu32(e0, e_save);
+    abcd = _mm_add_epi32(abcd, abcd_save);
+    abcd = _mm_shuffle_epi32(abcd, 0x1B);
+    _mm_storeu_si128(state.as_mut_ptr() as *mut __m128i, abcd);
+    state[4] = _mm_extract_epi32(e0, 3) as u32;
 }
 
 /// One-shot SHA-1.
@@ -167,6 +382,26 @@ mod tests {
             let mut h = Sha1::new();
             h.update(&data);
             assert_eq!(h.finalize(), sha1(&data), "len {len}");
+        }
+    }
+
+    /// The SHA-NI path must be bit-identical to the scalar compression at
+    /// every block-boundary class. (On machines without the SHA
+    /// extensions both sides take the scalar path and the test is a
+    /// tautology — the FIPS vectors above pin absolute correctness of
+    /// whichever path is active.)
+    #[test]
+    fn accelerated_matches_scalar() {
+        let data: Vec<u8> = (0..4096u32)
+            .map(|i| (i.wrapping_mul(2654435761) >> 24) as u8)
+            .collect();
+        for len in [0, 1, 55, 56, 63, 64, 65, 119, 128, 777, 1400, 4096] {
+            let mut fast = Sha1::new();
+            fast.update(&data[..len]);
+            let mut slow = Sha1::new();
+            slow.disable_acceleration();
+            slow.update(&data[..len]);
+            assert_eq!(fast.finalize(), slow.finalize(), "len {len}");
         }
     }
 }

@@ -99,14 +99,14 @@ pub const WEP_OVERHEAD: usize = 8;
 /// assert!(open(&WepKey::new(b"WRONG"), &body).is_err());
 /// ```
 pub fn seal(key: &WepKey, iv: [u8; 3], key_id: u8, payload: &[u8]) -> Vec<u8> {
+    // Single buffer: header + plaintext + ICV assembled in place, then
+    // encrypted in place — no intermediate plaintext-∥-ICV vector.
     let mut body = Vec::with_capacity(payload.len() + WEP_OVERHEAD);
     body.extend_from_slice(&iv);
     body.push((key_id & 0x03) << 6);
-    let mut data = Vec::with_capacity(payload.len() + 4);
-    data.extend_from_slice(payload);
-    data.extend_from_slice(&crc32(payload).to_le_bytes());
-    Rc4::new(&key.rc4_key(iv)).apply_keystream(&mut data);
-    body.extend_from_slice(&data);
+    body.extend_from_slice(payload);
+    body.extend_from_slice(&crc32(payload).to_le_bytes());
+    Rc4::new(&key.rc4_key(iv)).apply_keystream(&mut body[4..]);
     body
 }
 
@@ -124,7 +124,9 @@ pub fn open(key: &WepKey, body: &[u8]) -> Result<Vec<u8>, WepError> {
     if crc32(payload) != got {
         return Err(WepError::BadIcv);
     }
-    Ok(payload.to_vec())
+    // Shed the ICV in place; the decrypt copy doubles as the result.
+    data.truncate(icv_off);
+    Ok(data)
 }
 
 /// Extract the IV from a sealed body without decrypting (what a passive

@@ -625,6 +625,20 @@ impl Host {
         dst_port: u16,
         payload: &[u8],
     ) {
+        self.udp_send_bytes(now, h, dst, dst_port, Bytes::copy_from_slice(payload));
+    }
+
+    /// Send a UDP datagram whose payload the caller already owns as
+    /// [`Bytes`] — the buffer is threaded into the datagram without a
+    /// copy (the VPN record path sends sealed records this way).
+    pub fn udp_send_bytes(
+        &mut self,
+        now: SimTime,
+        h: SocketHandle,
+        dst: Ipv4Addr,
+        dst_port: u16,
+        payload: Bytes,
+    ) {
         let src_port = match self.sockets.get(h) {
             Some(Socket::Udp { port, .. }) => *port,
             _ => return,
@@ -633,7 +647,7 @@ impl Host {
             self.no_route_drops += 1;
             return;
         };
-        let dg = UdpDatagram::new(src_port, dst_port, Bytes::copy_from_slice(payload));
+        let dg = UdpDatagram::new(src_port, dst_port, payload);
         let pkt = Ipv4Packet::new(src_ip, dst, proto::UDP, dg.encode(src_ip, dst));
         self.ip_output(now, pkt);
     }

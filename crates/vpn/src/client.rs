@@ -21,7 +21,7 @@ use rogue_services::apps::{App, AppEvent};
 use rogue_sim::{SimDuration, SimRng, SimTime};
 
 use crate::protocol::{
-    authenticator, gen_keypair, transcript, Message, SessionCrypto, Transport, PSK_LEN,
+    authenticator, gen_keypair, transcript, Message, SessionCrypto, Transport, MAX_RECORD, PSK_LEN,
 };
 
 /// Ethertype for IPv4 (tun injection).
@@ -63,7 +63,7 @@ enum ClientState {
         deadline: SimTime,
         attempts: u32,
     },
-    Established(SessionCrypto),
+    Established(Box<SessionCrypto>),
     Failed,
 }
 
@@ -145,9 +145,9 @@ impl VpnClient {
         let packet = eth.payload;
         match &mut self.state {
             ClientState::Established(crypto) => {
-                let msg = crypto.seal(&packet);
+                let rec = crypto.seal_record(&packet);
                 self.records_tx += 1;
-                self.send_msg(now, host, &msg);
+                self.send_record(now, host, rec);
             }
             ClientState::Failed => self.dropped_no_tunnel += 1,
             _ => {
@@ -161,18 +161,25 @@ impl VpnClient {
     }
 
     fn send_msg(&mut self, now: SimTime, host: &mut Host, msg: &Message) {
-        let bytes = msg.encode();
+        self.send_record(now, host, Bytes::from(msg.encode()));
+    }
+
+    /// Send one already-encoded record. On UDP the buffer travels into
+    /// the datagram as-is; TCP needs the 4-byte length prefix, which is
+    /// the one place the stream framing forces a copy.
+    fn send_record(&mut self, now: SimTime, host: &mut Host, rec: Bytes) {
         match self.cfg.transport {
             Transport::Udp => {
                 let sock = *self.udp_sock.get_or_insert_with(|| host.udp_bind(41_000));
-                host.udp_send(now, sock, self.cfg.server.0, self.cfg.server.1, &bytes);
+                host.udp_send_bytes(now, sock, self.cfg.server.0, self.cfg.server.1, rec);
             }
             Transport::Tcp => {
                 let sock = *self.tcp_sock.get_or_insert_with(|| {
                     host.tcp_connect(now, self.cfg.server.0, self.cfg.server.1)
                 });
-                let mut framed = (bytes.len() as u32).to_be_bytes().to_vec();
-                framed.extend_from_slice(&bytes);
+                let mut framed = Vec::with_capacity(4 + rec.len());
+                framed.extend_from_slice(&(rec.len() as u32).to_be_bytes());
+                framed.extend_from_slice(&rec);
                 host.tcp_send(now, sock, &framed);
             }
         }
@@ -198,10 +205,18 @@ impl VpnClient {
                     self.tcp_rx.extend_from_slice(&chunk);
                     while self.tcp_rx.len() >= 4 {
                         let len = u32::from_be_bytes(self.tcp_rx[..4].try_into().unwrap()) as usize;
+                        if len > MAX_RECORD {
+                            // Stream desync or tampering: no valid record
+                            // is this large, so waiting for `len` bytes
+                            // would stall forever. Drop the buffer.
+                            self.tcp_rx.clear();
+                            break;
+                        }
                         if self.tcp_rx.len() < 4 + len {
                             break;
                         }
-                        if let Some(m) = Message::decode(&self.tcp_rx[4..4 + len]) {
+                        let rec = Bytes::copy_from_slice(&self.tcp_rx[4..4 + len]);
+                        if let Some(m) = Message::decode(&rec) {
                             msgs.push(m);
                         }
                         self.tcp_rx.drain(..4 + len);
@@ -253,15 +268,20 @@ impl VpnClient {
         }
     }
 
-    fn inject_inbound(&mut self, now: SimTime, host: &mut Host, packet: Vec<u8>) {
+    fn inject_inbound(&mut self, now: SimTime, host: &mut Host, packet: Bytes) {
         let tun_mac = host.iface(self.cfg.tun_ifindex).mac;
-        let frame = EthFrame::new(
-            tun_mac,
-            self.cfg.tun_gateway_mac,
-            ET_IPV4,
-            Bytes::from(packet),
-        );
+        let frame = EthFrame::new(tun_mac, self.cfg.tun_gateway_mac, ET_IPV4, packet);
         host.on_link_rx(now, self.cfg.tun_ifindex, &frame.encode());
+    }
+
+    /// Record-layer counters of the established session:
+    /// `(records_sealed, records_opened, bytes_copied)`. Zero before the
+    /// handshake completes.
+    pub fn record_stats(&self) -> (u64, u64, u64) {
+        match &self.state {
+            ClientState::Established(c) => (c.records_sealed, c.records_opened, c.bytes_copied),
+            _ => (0, 0, 0),
+        }
     }
 }
 
@@ -334,7 +354,7 @@ impl App for VpnClient {
                     };
                     let client_auth = authenticator(&self.cfg.psk, "client-auth", &t);
                     let crypto = SessionCrypto::derive(&shared, nonce, &nonce_s, true);
-                    self.state = ClientState::Established(crypto);
+                    self.state = ClientState::Established(Box::new(crypto));
                     let auth_msg = Message::ClientAuth { auth: client_auth };
                     self.send_msg(now, host, &auth_msg);
                     self.auth_redelivery = Some(AuthRedelivery {
@@ -346,9 +366,9 @@ impl App for VpnClient {
                     let pending = std::mem::take(&mut self.pending);
                     for pkt in pending {
                         if let ClientState::Established(crypto) = &mut self.state {
-                            let m = crypto.seal(&pkt);
+                            let rec = crypto.seal_record(&pkt);
                             self.records_tx += 1;
-                            self.send_msg(now, host, &m);
+                            self.send_record(now, host, rec);
                         }
                     }
                 }
@@ -360,7 +380,7 @@ impl App for VpnClient {
                         ciphertext,
                     },
                 ) => {
-                    if let Some(pt) = crypto.open(seq, &tag, &ciphertext) {
+                    if let Some(pt) = crypto.open(seq, &tag, ciphertext) {
                         // A valid record from the server proves it holds
                         // the session: stop re-sending ClientAuth.
                         if let Some(r) = &mut self.auth_redelivery {

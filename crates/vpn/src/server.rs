@@ -17,7 +17,7 @@ use rogue_services::apps::{App, AppEvent};
 use rogue_sim::{SimRng, SimTime};
 
 use crate::protocol::{
-    authenticator, gen_keypair, transcript, Message, SessionCrypto, Transport, PSK_LEN,
+    authenticator, gen_keypair, transcript, Message, SessionCrypto, Transport, MAX_RECORD, PSK_LEN,
 };
 
 const ET_IPV4: u16 = 0x0800;
@@ -120,16 +120,22 @@ impl VpnServer {
     }
 
     fn send_to(&mut self, now: SimTime, host: &mut Host, peer: PeerKey, msg: &Message) {
-        let bytes = msg.encode();
+        self.send_record(now, host, peer, Bytes::from(msg.encode()));
+    }
+
+    /// Send one already-encoded record. The UDP datagram takes the
+    /// buffer as-is; TCP framing pays one copy for the length prefix.
+    fn send_record(&mut self, now: SimTime, host: &mut Host, peer: PeerKey, rec: Bytes) {
         match peer {
             PeerKey::Udp(ip, port) => {
                 if let Some(sock) = self.udp_sock {
-                    host.udp_send(now, sock, ip, port, &bytes);
+                    host.udp_send_bytes(now, sock, ip, port, rec);
                 }
             }
             PeerKey::Tcp(sock) => {
-                let mut framed = (bytes.len() as u32).to_be_bytes().to_vec();
-                framed.extend_from_slice(&bytes);
+                let mut framed = Vec::with_capacity(4 + rec.len());
+                framed.extend_from_slice(&(rec.len() as u32).to_be_bytes());
+                framed.extend_from_slice(&rec);
                 host.tcp_send(now, sock, &framed);
             }
         }
@@ -222,8 +228,7 @@ impl VpnServer {
                 let SessionState::Established(crypto) = &mut sess.state else {
                     return;
                 };
-                if let Some(packet) = crypto.open(seq, &tag, &ciphertext) {
-                    let packet = Bytes::from(packet);
+                if let Some(packet) = crypto.open(seq, &tag, ciphertext) {
                     // Only accept inner packets sourced from the client's
                     // assigned tunnel address (anti-spoofing).
                     if let Some(ip) = Ipv4Packet::decode(&packet) {
@@ -264,9 +269,22 @@ impl VpnServer {
         let SessionState::Established(crypto) = &mut sess.state else {
             return;
         };
-        let msg = crypto.seal(&eth.payload);
+        let rec = crypto.seal_record(&eth.payload);
         self.records_out += 1;
-        self.send_to(now, host, peer, &msg);
+        self.send_record(now, host, peer, rec);
+    }
+
+    /// Record-layer counters summed over every session (established or
+    /// awaiting auth): `(records_sealed, records_opened, bytes_copied)`.
+    pub fn record_stats(&self) -> (u64, u64, u64) {
+        self.sessions
+            .values()
+            .map(|s| match &s.state {
+                SessionState::Established(c) | SessionState::AwaitAuth { crypto: c, .. } => {
+                    (c.records_sealed, c.records_opened, c.bytes_copied)
+                }
+            })
+            .fold((0, 0, 0), |(a, b, c), (x, y, z)| (a + x, b + y, c + z))
     }
 }
 
@@ -312,10 +330,18 @@ impl App for VpnServer {
                         buf.extend_from_slice(&chunk);
                         while buf.len() >= 4 {
                             let len = u32::from_be_bytes(buf[..4].try_into().unwrap()) as usize;
+                            if len > MAX_RECORD {
+                                // Desynced or hostile stream: no record is
+                                // this large, drop the buffer rather than
+                                // stall waiting for phantom bytes.
+                                buf.clear();
+                                break;
+                            }
                             if buf.len() < 4 + len {
                                 break;
                             }
-                            if let Some(m) = Message::decode(&buf[4..4 + len]) {
+                            let rec = Bytes::copy_from_slice(&buf[4..4 + len]);
+                            if let Some(m) = Message::decode(&rec) {
                                 msgs.push(m);
                             }
                             buf.drain(..4 + len);

@@ -1,0 +1,137 @@
+//! Equivalence proptests pinning the block-batched crypto paths to
+//! independent byte-wise references.
+//!
+//! The record-path optimizations (block-batched ChaCha20 XOR, multi-block
+//! SHA-1 absorption, precomputed HMAC pad midstates, register-local RC4)
+//! are only admissible because they are *bit-identical* to the simple
+//! per-byte formulations — every golden table in EXPERIMENTS.md depends
+//! on the ciphertext bytes not moving. Each property here re-derives the
+//! expected bytes through a deliberately naive path (one byte per
+//! `update`, pads built by hand from RFC 2104) and requires exact
+//! equality at arbitrary lengths, splits, and resumption points.
+
+use proptest::prelude::*;
+use rogue_crypto::chacha20::ChaCha20;
+use rogue_crypto::hmac::{hmac_sha1, HmacSha1};
+use rogue_crypto::sha1::Sha1;
+use rogue_crypto::Rc4;
+
+/// Naive HMAC-SHA1: pads assembled by hand, no midstates, one byte per
+/// `update` call so even SHA-1's internal buffering is exercised on the
+/// slowest path.
+fn hmac_sha1_reference(key: &[u8], msg: &[u8]) -> [u8; 20] {
+    let mut k = [0u8; 64];
+    if key.len() > 64 {
+        let mut h = Sha1::new();
+        for &b in key {
+            h.update(&[b]);
+        }
+        k[..20].copy_from_slice(&h.finalize());
+    } else {
+        k[..key.len()].copy_from_slice(key);
+    }
+    let mut inner = Sha1::new();
+    for &b in &k {
+        inner.update(&[b ^ 0x36]);
+    }
+    for &b in msg {
+        inner.update(&[b]);
+    }
+    let inner_digest = inner.finalize();
+    let mut outer = Sha1::new();
+    for &b in &k {
+        outer.update(&[b ^ 0x5C]);
+    }
+    for &b in &inner_digest {
+        outer.update(&[b]);
+    }
+    outer.finalize()
+}
+
+proptest! {
+    /// Block-batched ChaCha20 == byte-at-a-time reference for arbitrary
+    /// data, counters, and two-way splits, including the resumed state.
+    #[test]
+    fn chacha20_batched_matches_bytewise(
+        key in any::<[u8; 32]>(),
+        nonce in any::<[u8; 12]>(),
+        counter in any::<u32>(),
+        data in proptest::collection::vec(any::<u8>(), 0..512),
+        cut in any::<u16>(),
+    ) {
+        let cut = (cut as usize) % (data.len() + 1);
+        let mut fast = data.clone();
+        let mut slow = data.clone();
+        let mut cf = ChaCha20::new(&key, &nonce, counter);
+        let mut cs = ChaCha20::new(&key, &nonce, counter);
+        let (fa, fb) = fast.split_at_mut(cut);
+        cf.apply_keystream(fa);
+        cf.apply_keystream(fb);
+        let (sa, sb) = slow.split_at_mut(cut);
+        cs.apply_keystream_bytewise(sa);
+        cs.apply_keystream_bytewise(sb);
+        prop_assert_eq!(&fast, &slow);
+        // The partial-block resume buffer must agree too.
+        let mut tf = [0u8; 3];
+        let mut ts = [0u8; 3];
+        cf.apply_keystream(&mut tf);
+        cs.apply_keystream_bytewise(&mut ts);
+        prop_assert_eq!(tf, ts);
+    }
+
+    /// Multi-block SHA-1 absorption == one byte per update, at any split.
+    #[test]
+    fn sha1_batched_matches_bytewise(
+        data in proptest::collection::vec(any::<u8>(), 0..4096),
+        cut in any::<u16>(),
+    ) {
+        let cut = (cut as usize) % (data.len() + 1);
+        let mut fast = Sha1::new();
+        fast.update(&data[..cut]);
+        fast.update(&data[cut..]);
+        let mut slow = Sha1::new();
+        for &b in &data {
+            slow.update(&[b]);
+        }
+        prop_assert_eq!(fast.finalize(), slow.finalize());
+    }
+
+    /// Midstate HMAC (and the streaming context) == the hand-built
+    /// RFC 2104 reference, across key-size classes and message splits.
+    #[test]
+    fn hmac_midstate_matches_reference(
+        key in proptest::collection::vec(any::<u8>(), 0..100),
+        msg in proptest::collection::vec(any::<u8>(), 0..512),
+        cut in any::<u16>(),
+    ) {
+        let expect = hmac_sha1_reference(&key, &msg);
+        prop_assert_eq!(hmac_sha1(&key, &msg), expect);
+        let pre = HmacSha1::new(&key);
+        prop_assert_eq!(pre.mac(&msg), expect);
+        let cut = (cut as usize) % (msg.len() + 1);
+        let mut ctx = pre.begin();
+        ctx.update(&msg[..cut]);
+        ctx.update(&msg[cut..]);
+        prop_assert_eq!(ctx.finalize(), expect);
+    }
+
+    /// Register-local RC4 keystream application == repeated `next_byte`,
+    /// and `skip` == discarding that many output bytes.
+    #[test]
+    fn rc4_inplace_matches_next_byte(
+        key in proptest::collection::vec(any::<u8>(), 1..64),
+        data in proptest::collection::vec(any::<u8>(), 0..512),
+        skip in 0usize..300,
+    ) {
+        let mut fast = Rc4::new(&key);
+        let mut slow = Rc4::new(&key);
+        fast.skip(skip);
+        for _ in 0..skip {
+            slow.next_byte();
+        }
+        let mut batched = data.clone();
+        fast.apply_keystream(&mut batched);
+        let bytewise: Vec<u8> = data.iter().map(|b| b ^ slow.next_byte()).collect();
+        prop_assert_eq!(batched, bytewise);
+    }
+}
