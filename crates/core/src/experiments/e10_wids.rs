@@ -34,8 +34,48 @@ use rogue_wids::{
     WiredSensor,
 };
 
+use crate::report::Table;
 use crate::scenario::{addrs, build_corp, corp_bssid, victim_mac};
 use crate::scenario::{CorpScenarioCfg, RogueCfg};
+
+/// Parameters of the E10 driver. [`E10Params::default`] is exactly the
+/// deployment the checked-in report was generated with; the scenario
+/// compiler (`rogue-scenario`) overrides fields from a `.toml` file and
+/// must reproduce that table byte-for-byte at the defaults.
+#[derive(Clone, Debug)]
+pub struct E10Params {
+    /// Wall-clock horizon of each replication.
+    pub run_time: SimTime,
+    /// When the rogue-AP + deauth attack powers on.
+    pub attack_start: SimTime,
+    /// When the wired ARP poisoner starts claiming the gateway.
+    pub spoof_start: SimTime,
+    /// Lockstep slice between WIDS pipeline steps.
+    pub slice: SimDuration,
+    /// Channels the fixed monitor radios listen on.
+    pub monitor_channels: Vec<u8>,
+    /// Where the monitor radios sit.
+    pub monitor_pos: Pos,
+    /// Truth-matching window passed to [`evaluate`].
+    pub match_window: SimDuration,
+    /// Scenarios scored, in table order.
+    pub scenarios: Vec<WidsScenario>,
+}
+
+impl Default for E10Params {
+    fn default() -> E10Params {
+        E10Params {
+            run_time: SimTime::from_secs(10),
+            attack_start: SimTime::from_secs(2),
+            spoof_start: SimTime::from_secs(3),
+            slice: SimDuration::from_millis(100),
+            monitor_channels: vec![1, 6, 11],
+            monitor_pos: Pos::new(20.0, 10.0),
+            match_window: SimDuration::from_millis(500),
+            scenarios: WidsScenario::all().to_vec(),
+        }
+    }
+}
 
 /// The scripted scenarios E10 scores.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -66,6 +106,11 @@ impl WidsScenario {
             WidsScenario::ArpSpoof,
         ]
     }
+
+    /// Inverse of [`name`](WidsScenario::name), for scenario files.
+    pub fn from_name(name: &str) -> Option<WidsScenario> {
+        WidsScenario::all().into_iter().find(|s| s.name() == name)
+    }
 }
 
 /// MAC of the wired ARP attacker.
@@ -91,24 +136,28 @@ pub struct WidsRunOutcome {
     pub incident_log: Vec<(IncidentCategory, MacAddr, SimTime, f64)>,
 }
 
-/// Run one replication of `scenario`, stepping the WIDS pipeline in
-/// 100 ms slices alongside the simulation.
-pub fn run_wids_once(scenario: WidsScenario, seed: Seed) -> WidsRunOutcome {
-    let run_time = SimTime::from_secs(10);
-    let attack_start = SimTime::from_secs(2);
-    let spoof_start = SimTime::from_secs(3);
+/// Run one replication of `scenario` against `base`, stepping the WIDS
+/// pipeline in lockstep slices alongside the simulation. Defaults:
+/// [`run_wids_once`].
+pub fn run_wids_once_with(
+    base: &CorpScenarioCfg,
+    params: &E10Params,
+    scenario: WidsScenario,
+    seed: Seed,
+) -> WidsRunOutcome {
+    let run_time = params.run_time;
+    let attack_start = params.attack_start;
+    let spoof_start = params.spoof_start;
 
-    let mut cfg = match scenario {
-        WidsScenario::RogueApDeauth => {
-            let mut cfg = CorpScenarioCfg::paper_attack();
-            cfg.rogue = Some(RogueCfg {
-                start_at: attack_start,
-                deauth_victim: true,
-                ..RogueCfg::default()
-            });
-            cfg
-        }
-        _ => CorpScenarioCfg::baseline(),
+    let mut cfg = base.clone();
+    cfg.rogue = match scenario {
+        WidsScenario::RogueApDeauth => Some(RogueCfg {
+            start_at: attack_start,
+            deauth_victim: true,
+            ..base.rogue.clone().unwrap_or_default()
+        }),
+        // clean / arp-spoof run the baseline network: no rogue on air.
+        _ => None,
     };
     cfg.wired_monitor = false;
     let mut sc = build_corp(&cfg, seed);
@@ -151,9 +200,10 @@ pub fn run_wids_once(scenario: WidsScenario, seed: Seed) -> WidsRunOutcome {
     // Fixed sensors on the three non-overlapping channels, plus a span
     // port on the corp switch.
     let defender = sc.world.add_node("wids-defender");
-    let monitors: Vec<usize> = [1u8, 6, 11]
-        .into_iter()
-        .map(|ch| sc.world.add_monitor(defender, Pos::new(20.0, 10.0), ch))
+    let monitors: Vec<usize> = params
+        .monitor_channels
+        .iter()
+        .map(|&ch| sc.world.add_monitor(defender, params.monitor_pos, ch))
         .collect();
     sc.world.add_wire_tap(defender, sc.corp_switch);
 
@@ -174,7 +224,7 @@ pub fn run_wids_once(scenario: WidsScenario, seed: Seed) -> WidsRunOutcome {
     let mut wired_cursor = 0usize;
 
     // --- lockstep run --------------------------------------------------
-    let slice = SimDuration::from_millis(100);
+    let slice = params.slice;
     let mut now = SimTime::ZERO;
     while now < run_time {
         now = (now + slice).min(run_time);
@@ -217,7 +267,7 @@ pub fn run_wids_once(scenario: WidsScenario, seed: Seed) -> WidsRunOutcome {
             run_time,
         )],
     };
-    let eval = evaluate(pipe.incidents(), &labels, SimDuration::from_millis(500));
+    let eval = evaluate(pipe.incidents(), &labels, params.match_window);
 
     WidsRunOutcome {
         scenario,
@@ -231,6 +281,16 @@ pub fn run_wids_once(scenario: WidsScenario, seed: Seed) -> WidsRunOutcome {
             .map(|i| (i.category, i.subject, i.opened_at, i.score))
             .collect(),
     }
+}
+
+/// [`run_wids_once_with`] on the paper scenario with paper timing.
+pub fn run_wids_once(scenario: WidsScenario, seed: Seed) -> WidsRunOutcome {
+    run_wids_once_with(
+        &CorpScenarioCfg::paper_attack(),
+        &E10Params::default(),
+        scenario,
+        seed,
+    )
 }
 
 /// One row of the E10 table.
@@ -250,13 +310,22 @@ pub struct WidsRow {
 
 /// Score every scenario over `reps` replications each; the last row is
 /// the merged "overall" line the acceptance thresholds apply to.
-pub fn wids_table(reps: usize, seed: Seed) -> Vec<WidsRow> {
-    let mut rows: Vec<WidsRow> = WidsScenario::all()
-        .into_iter()
-        .map(|scenario| {
+/// Defaults: [`wids_table`].
+pub fn wids_table_with(
+    base: &CorpScenarioCfg,
+    params: &E10Params,
+    reps: usize,
+    seed: Seed,
+) -> Vec<WidsRow> {
+    let mut rows: Vec<WidsRow> = params
+        .scenarios
+        .iter()
+        .map(|&scenario| {
             let outcomes: Vec<WidsRunOutcome> = (0..reps)
                 .into_par_iter()
-                .map(|rep| run_wids_once(scenario, seed.fork(0xE10 * 100 + rep as u64)))
+                .map(|rep| {
+                    run_wids_once_with(base, params, scenario, seed.fork(0xE10 * 100 + rep as u64))
+                })
                 .collect();
             let mut eval = EvalOutcome::default();
             for o in &outcomes {
@@ -281,12 +350,59 @@ pub fn wids_table(reps: usize, seed: Seed) -> Vec<WidsRow> {
     let ring_dropped = rows.iter().map(|r| r.ring_dropped).sum();
     rows.push(WidsRow {
         scenario: "overall",
-        reps: reps * WidsScenario::all().len(),
+        reps: reps * params.scenarios.len(),
         eval: overall,
         mean_incidents,
         ring_dropped,
     });
     rows
+}
+
+/// [`wids_table_with`] on the paper scenario with paper timing.
+pub fn wids_table(reps: usize, seed: Seed) -> Vec<WidsRow> {
+    wids_table_with(
+        &CorpScenarioCfg::paper_attack(),
+        &E10Params::default(),
+        reps,
+        seed,
+    )
+}
+
+/// The E10 score card rendered as Markdown (so the table drops straight
+/// into EXPERIMENTS.md). The single formatter both the `rogue-bench`
+/// harness and the scenario compiler call; a `.toml` scenario at the
+/// paper defaults reproduces the checked-in table byte-for-byte.
+pub fn report_body(base: &CorpScenarioCfg, params: &E10Params, reps: usize, seed: Seed) -> String {
+    let rows = wids_table_with(base, params, reps, seed);
+    let mut t = Table::new(&[
+        "scenario",
+        "reps",
+        "TP",
+        "FP",
+        "FN",
+        "precision",
+        "recall",
+        "median latency s",
+        "ring drops",
+    ]);
+    for r in &rows {
+        t.row(&[
+            r.scenario.to_string(),
+            r.reps.to_string(),
+            r.eval.true_positives.to_string(),
+            r.eval.false_positives.to_string(),
+            r.eval.false_negatives.to_string(),
+            format!("{:.2}", r.eval.precision()),
+            format!("{:.2}", r.eval.recall()),
+            if r.eval.latencies_secs.is_empty() {
+                "—".to_string()
+            } else {
+                format!("{:.2}", r.eval.median_latency_secs())
+            },
+            r.ring_dropped.to_string(),
+        ]);
+    }
+    t.to_markdown()
 }
 
 #[cfg(test)]

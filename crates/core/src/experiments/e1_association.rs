@@ -18,7 +18,40 @@ use rayon::prelude::*;
 use rogue_dot11::output::MacEvent;
 use rogue_sim::{Seed, SimTime};
 
+use crate::report::{pct, Table};
 use crate::scenario::{build_corp, corp_bssid, victim_mac, CorpScenarioCfg, RogueCfg};
+
+/// Parameters of the E1 drivers. [`E1Params::default`] is exactly the
+/// paper configuration the checked-in report tables were generated
+/// with; the scenario compiler (`rogue-scenario`) overrides fields from
+/// a `.toml` file and must reproduce those tables byte-for-byte when it
+/// leaves them at their defaults.
+#[derive(Clone, Debug)]
+pub struct E1Params {
+    /// Rogue transmit powers swept in the scan race.
+    pub powers_dbm: Vec<f64>,
+    /// Log-normal shadowing applied during the sweep (makes the capture
+    /// transition an S-curve instead of a step).
+    pub sweep_shadowing_db: f64,
+    /// Wall-clock horizon of each sweep replication.
+    pub sweep_run: SimTime,
+    /// When the late rogue powers on in the deauth comparison.
+    pub deauth_rogue_start: SimTime,
+    /// Wall-clock horizon of each deauth-comparison replication.
+    pub deauth_run: SimTime,
+}
+
+impl Default for E1Params {
+    fn default() -> E1Params {
+        E1Params {
+            powers_dbm: vec![-15.0, -10.0, -5.0, 0.0, 5.0, 10.0, 15.0, 18.0],
+            sweep_shadowing_db: 6.0,
+            sweep_run: SimTime::from_secs(5),
+            deauth_rogue_start: SimTime::from_secs(3),
+            deauth_run: SimTime::from_secs(12),
+        }
+    }
+}
 
 /// One replication's outcome.
 #[derive(Clone, Debug)]
@@ -94,23 +127,30 @@ pub struct CapturePoint {
 }
 
 /// The scan race: rogue on air from the start, power swept. Shadowing
-/// (6 dB) makes the transition a smooth S-curve rather than a step.
-pub fn capture_vs_power(powers_dbm: &[f64], reps: usize, seed: Seed) -> Vec<CapturePoint> {
-    powers_dbm
+/// (6 dB by default) makes the transition a smooth S-curve rather than
+/// a step. Defaults: [`capture_vs_power`].
+pub fn capture_vs_power_with(
+    base: &CorpScenarioCfg,
+    params: &E1Params,
+    reps: usize,
+    seed: Seed,
+) -> Vec<CapturePoint> {
+    params
+        .powers_dbm
         .par_iter()
         .map(|&p| {
             let outcomes: Vec<CaptureOutcome> = (0..reps)
                 .into_par_iter()
                 .map(|rep| {
-                    let mut cfg = CorpScenarioCfg::paper_attack();
-                    cfg.shadowing_sigma_db = 6.0;
+                    let mut cfg = base.clone();
+                    cfg.shadowing_sigma_db = params.sweep_shadowing_db;
                     cfg.rogue = Some(RogueCfg {
                         tx_power_dbm: p,
-                        ..RogueCfg::default()
+                        ..base.rogue.clone().unwrap_or_default()
                     });
                     run_capture_once(
                         &cfg,
-                        SimTime::from_secs(5),
+                        params.sweep_run,
                         seed.fork((p * 10.0) as i64 as u64 ^ (rep as u64) << 17),
                     )
                 })
@@ -135,6 +175,15 @@ pub fn capture_vs_power(powers_dbm: &[f64], reps: usize, seed: Seed) -> Vec<Capt
         .collect()
 }
 
+/// [`capture_vs_power_with`] on the paper scenario with paper timing.
+pub fn capture_vs_power(powers_dbm: &[f64], reps: usize, seed: Seed) -> Vec<CapturePoint> {
+    let params = E1Params {
+        powers_dbm: powers_dbm.to_vec(),
+        ..E1Params::default()
+    };
+    capture_vs_power_with(&CorpScenarioCfg::paper_attack(), &params, reps, seed)
+}
+
 /// One row of the deauth comparison.
 #[derive(Clone, Debug)]
 pub struct DeauthPoint {
@@ -149,27 +198,33 @@ pub struct DeauthPoint {
     pub mean_capture_after_start_secs: f64,
 }
 
-/// The forced roam: the rogue arrives at t = 3 s, after the victim has
-/// associated to the valid AP. Without deauth the sticky association
-/// never re-evaluates; with forged deauth the victim is pushed off and
-/// re-joins the (stronger) rogue.
-pub fn capture_with_deauth(reps: usize, seed: Seed) -> Vec<DeauthPoint> {
+/// The forced roam: the rogue arrives late (t = 3 s by default), after
+/// the victim has associated to the valid AP. Without deauth the sticky
+/// association never re-evaluates; with forged deauth the victim is
+/// pushed off and re-joins the (stronger) rogue. Defaults:
+/// [`capture_with_deauth`].
+pub fn capture_with_deauth_with(
+    base: &CorpScenarioCfg,
+    params: &E1Params,
+    reps: usize,
+    seed: Seed,
+) -> Vec<DeauthPoint> {
     [false, true]
         .into_iter()
         .map(|deauth| {
-            let rogue_start = SimTime::from_secs(3);
+            let rogue_start = params.deauth_rogue_start;
             let outcomes: Vec<CaptureOutcome> = (0..reps)
                 .into_par_iter()
                 .map(|rep| {
-                    let mut cfg = CorpScenarioCfg::paper_attack();
+                    let mut cfg = base.clone();
                     cfg.rogue = Some(RogueCfg {
                         deauth_victim: deauth,
                         start_at: rogue_start,
-                        ..RogueCfg::default()
+                        ..base.rogue.clone().unwrap_or_default()
                     });
                     run_capture_once(
                         &cfg,
-                        SimTime::from_secs(12),
+                        params.deauth_run,
                         seed.fork(rep as u64 * 2 + deauth as u64),
                     )
                 })
@@ -192,6 +247,51 @@ pub fn capture_with_deauth(reps: usize, seed: Seed) -> Vec<DeauthPoint> {
             }
         })
         .collect()
+}
+
+/// [`capture_with_deauth_with`] on the paper scenario with paper timing.
+pub fn capture_with_deauth(reps: usize, seed: Seed) -> Vec<DeauthPoint> {
+    capture_with_deauth_with(
+        &CorpScenarioCfg::paper_attack(),
+        &E1Params::default(),
+        reps,
+        seed,
+    )
+}
+
+/// The E1 report body: the power-sweep table followed by the
+/// deauth-comparison table. This is the single formatter both the
+/// `rogue-bench` harness and the scenario compiler call, so a `.toml`
+/// scenario that leaves the parameters at their paper values reproduces
+/// the checked-in table byte-for-byte.
+pub fn report_body(base: &CorpScenarioCfg, params: &E1Params, reps: usize, seed: Seed) -> String {
+    let points = capture_vs_power_with(base, params, reps, seed);
+    let mut t = Table::new(&["rogue tx dBm", "reps", "capture rate", "mean capture s"]);
+    for p in &points {
+        t.row(&[
+            format!("{:+.0}", p.rogue_power_dbm),
+            p.reps.to_string(),
+            pct(p.capture_rate),
+            format!("{:.2}", p.mean_capture_secs),
+        ]);
+    }
+    let mut body = t.render();
+    body.push('\n');
+    let rows = capture_with_deauth_with(base, params, reps, seed);
+    let mut t = Table::new(&[
+        "late rogue + forged deauth",
+        "capture rate",
+        "mean s after start",
+    ]);
+    for r in &rows {
+        t.row(&[
+            r.deauth.to_string(),
+            pct(r.capture_rate),
+            format!("{:.2}", r.mean_capture_after_start_secs),
+        ]);
+    }
+    body.push_str(&t.render());
+    body
 }
 
 #[cfg(test)]

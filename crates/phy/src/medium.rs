@@ -291,6 +291,15 @@ impl Medium {
         self.radios[id.0 as usize].pos
     }
 
+    /// Position-change epoch of a radio. Bumped by every [`set_pos`]
+    /// call that actually moves the radio; the pairwise path-loss cache
+    /// keys on it, so a bump proves the cached losses were invalidated.
+    ///
+    /// [`set_pos`]: Medium::set_pos
+    pub fn pos_epoch(&self, id: RadioId) -> u64 {
+        self.radios[id.0 as usize].pos_epoch
+    }
+
     /// Retune a radio (channel hopping during scans / site audits).
     /// Pure frequency change: path-loss cache and audible rows stay
     /// valid.

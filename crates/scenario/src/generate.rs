@@ -1,0 +1,144 @@
+//! Population expansion: turning a `[[population]]` template
+//! ("500 clients, waypoint mobility, …") into concrete clients with
+//! addresses, spawn positions and per-client traffic assignments.
+//!
+//! All randomness forks from the scenario seed, labelled by population
+//! index and client index, so the expansion is a pure function of the
+//! file — regeneration is byte-stable and independent of thread count.
+
+use rogue_dot11::MacAddr;
+use rogue_netstack::Ipv4Addr;
+use rogue_phy::Pos;
+use rogue_sim::{Seed, SimRng};
+
+use crate::spec::{PopulationSpec, Scenario};
+
+/// One generated client, before compilation onto the world.
+#[derive(Clone, Debug)]
+pub struct ClientSpec {
+    /// Node name (`<population>-<i>`).
+    pub name: String,
+    /// Index of the population this client came from.
+    pub population: usize,
+    /// Station MAC.
+    pub mac: MacAddr,
+    /// Station IP.
+    pub ip: Ipv4Addr,
+    /// Spawn position, uniform in the population area.
+    pub pos: Pos,
+    /// Indices into the population's `traffic` list this client runs.
+    pub flows: Vec<usize>,
+    /// Seed for anything per-client downstream (mobility walker).
+    pub seed: Seed,
+}
+
+/// `ip + n` in network byte order.
+pub fn ip_offset(ip: Ipv4Addr, n: u32) -> Ipv4Addr {
+    Ipv4Addr::from(u32::from(ip).wrapping_add(n))
+}
+
+/// Expand one population template.
+pub fn expand_population(
+    scenario_seed: Seed,
+    pop_index: usize,
+    pop: &PopulationSpec,
+) -> Vec<ClientSpec> {
+    let pop_seed = scenario_seed.fork(0x9E0_0000 + pop_index as u64);
+    (0..pop.count)
+        .map(|i| {
+            let seed = pop_seed.fork(i as u64);
+            let mut rng = SimRng::new(seed.fork(0x5FA3));
+            let [x0, y0, x1, y1] = pop.area;
+            let pos = Pos::new(x0 + rng.f64() * (x1 - x0), y0 + rng.f64() * (y1 - y0));
+            // Each flow is an independent coin weighted by its share, so
+            // a 0.2-share browse loop lands on ~20% of the population.
+            let flows = pop
+                .traffic
+                .iter()
+                .enumerate()
+                .filter(|(_, t)| rng.chance(t.share))
+                .map(|(fi, _)| fi)
+                .collect();
+            ClientSpec {
+                name: format!("{}-{i}", pop.name),
+                population: pop_index,
+                mac: MacAddr::local(pop.mac_first + i as u64),
+                ip: ip_offset(pop.ip_first, i as u32),
+                pos,
+                flows,
+                seed,
+            }
+        })
+        .collect()
+}
+
+/// Expand every population in the scenario, in file order.
+pub fn expand_all(sc: &Scenario) -> Vec<ClientSpec> {
+    sc.populations
+        .iter()
+        .enumerate()
+        .flat_map(|(pi, pop)| expand_population(sc.seed, pi, pop))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::parse_scenario;
+
+    const SRC: &str = r#"
+name = "gen-test"
+seed = 7
+
+[[ap]]
+ssid = "NET"
+bssid = "aa:bb:cc:dd:00:01"
+channel = 1
+pos = [0.0, 0.0]
+
+[[server]]
+name = "www"
+ip = "10.0.1.1"
+content = "news"
+
+[[population]]
+name = "crowd"
+count = 40
+ssid = "NET"
+area = [0.0, 0.0, 100.0, 50.0]
+mac_first = 500
+ip_first = "10.0.100.1"
+
+[[population.traffic]]
+kind = "http"
+server = "www"
+share = 0.5
+"#;
+
+    #[test]
+    fn expansion_is_deterministic_and_in_bounds() {
+        let sc = parse_scenario(SRC).unwrap();
+        let a = expand_all(&sc);
+        let b = expand_all(&sc);
+        assert_eq!(a.len(), 40);
+        for (ca, cb) in a.iter().zip(&b) {
+            assert_eq!(ca.mac, cb.mac);
+            assert_eq!(ca.ip, cb.ip);
+            assert_eq!(ca.pos, cb.pos);
+            assert_eq!(ca.flows, cb.flows);
+        }
+        for (i, c) in a.iter().enumerate() {
+            assert_eq!(c.mac, MacAddr::local(500 + i as u64));
+            assert!(c.pos.x >= 0.0 && c.pos.x <= 100.0);
+            assert!(c.pos.y >= 0.0 && c.pos.y <= 50.0);
+        }
+        // A 0.5 share lands on some but not all clients.
+        let with_flow = a.iter().filter(|c| !c.flows.is_empty()).count();
+        assert!(with_flow > 5 && with_flow < 35, "{with_flow}");
+        // Sequential IPs spill across octet boundaries correctly.
+        assert_eq!(
+            ip_offset(Ipv4Addr::new(10, 0, 0, 250), 10).octets(),
+            [10, 0, 1, 4]
+        );
+    }
+}

@@ -205,6 +205,84 @@ impl fmt::Display for SimDuration {
     }
 }
 
+/// Error from parsing a duration string such as `"10s"` or `"250ms"`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseDurationError(String);
+
+impl fmt::Display for ParseDurationError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid duration: {}", self.0)
+    }
+}
+
+impl std::error::Error for ParseDurationError {}
+
+impl std::str::FromStr for SimDuration {
+    type Err = ParseDurationError;
+
+    /// Parse `"10s"`, `"2.5s"`, `"120ms"`, `"40us"`, `"700ns"`. A unit
+    /// suffix is required; fractional values are accepted for every unit
+    /// and truncated to whole nanoseconds.
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let s = s.trim();
+        let (num, per_unit_ns) = if let Some(n) = s.strip_suffix("ns") {
+            (n, 1u64)
+        } else if let Some(n) = s.strip_suffix("us") {
+            (n, 1_000)
+        } else if let Some(n) = s.strip_suffix("ms") {
+            (n, 1_000_000)
+        } else if let Some(n) = s.strip_suffix('s') {
+            (n, 1_000_000_000)
+        } else {
+            return Err(ParseDurationError(format!(
+                "{s:?} has no unit suffix (expected s, ms, us or ns)"
+            )));
+        };
+        let num = num.trim();
+        if num.is_empty() {
+            return Err(ParseDurationError(format!("{s:?} has no number")));
+        }
+        // Split on the decimal point and assemble integer nanoseconds by
+        // hand: going through f64 would lose precision for large counts.
+        let (whole, frac) = match num.split_once('.') {
+            Some((w, f)) => (w, f),
+            None => (num, ""),
+        };
+        if !whole.chars().all(|c| c.is_ascii_digit())
+            || !frac.chars().all(|c| c.is_ascii_digit())
+            || (whole.is_empty() && frac.is_empty())
+        {
+            return Err(ParseDurationError(format!("{s:?} is not a number")));
+        }
+        let whole: u64 = if whole.is_empty() {
+            0
+        } else {
+            whole
+                .parse()
+                .map_err(|_| ParseDurationError(format!("{s:?} is out of range")))?
+        };
+        let mut ns = whole
+            .checked_mul(per_unit_ns)
+            .ok_or_else(|| ParseDurationError(format!("{s:?} overflows u64 nanoseconds")))?;
+        if !frac.is_empty() {
+            // Scale the fractional digits against the unit: "2.5s" adds
+            // 5 * 10^8 ns. Digits finer than a nanosecond are truncated.
+            let mut scale = per_unit_ns;
+            for d in frac.chars() {
+                scale /= 10;
+                if scale == 0 {
+                    break;
+                }
+                let digit = d.to_digit(10).expect("checked ascii digit") as u64;
+                ns = ns.checked_add(digit * scale).ok_or_else(|| {
+                    ParseDurationError(format!("{s:?} overflows u64 nanoseconds"))
+                })?;
+            }
+        }
+        Ok(SimDuration(ns))
+    }
+}
+
 fn format_ns(ns: u64) -> String {
     if ns >= 1_000_000_000 {
         format!("{:.3}s", ns as f64 / 1e9)
@@ -268,6 +346,23 @@ mod tests {
             SimDuration(u64::MAX / 2).saturating_mul(u64::MAX),
             SimDuration(u64::MAX)
         );
+    }
+
+    #[test]
+    fn duration_parsing() {
+        let parse = |s: &str| s.parse::<SimDuration>();
+        assert_eq!(parse("10s").unwrap(), SimDuration::from_secs(10));
+        assert_eq!(parse("2.5s").unwrap(), SimDuration::from_millis(2_500));
+        assert_eq!(parse("500ms").unwrap(), SimDuration::from_millis(500));
+        assert_eq!(parse("120us").unwrap(), SimDuration::from_micros(120));
+        assert_eq!(parse("700ns").unwrap(), SimDuration::from_nanos(700));
+        assert_eq!(parse(" 1s ").unwrap(), SimDuration::from_secs(1));
+        assert_eq!(parse(".5s").unwrap(), SimDuration::from_millis(500));
+        // Sub-nanosecond digits truncate rather than round.
+        assert_eq!(parse("1.9ns").unwrap(), SimDuration::from_nanos(1));
+        for bad in ["", "10", "s", "ten s", "1.2.3s", "-4s", "1 0s"] {
+            assert!(parse(bad).is_err(), "{bad:?} should not parse");
+        }
     }
 
     #[test]

@@ -129,3 +129,100 @@ fn returning_home_reverses_the_handover() {
     );
     let _ = (gw_node, rogue_radio);
 }
+
+// ---------------------------------------------------------------------
+// Scenario-driven mobility: the same physics, reached through the
+// declarative layer. The compiler turns `[population.mobility]` into
+// walkers stepped on the scenario tick; every applied move must go
+// through `Medium::set_pos` and therefore bump the moved radio's
+// position epoch (invalidating its path-loss cache rows). The epoch
+// bookkeeping is what keeps a 500-client waypoint scenario honest — a
+// stale cache would silently freeze the radio environment.
+
+const WAYPOINT_SRC: &str = r#"
+name = "mobility-ticks"
+seed = 11
+duration = "4s"
+tick = "100ms"
+
+[[ap]]
+ssid = "NET"
+bssid = "aa:bb:cc:dd:00:01"
+channel = 1
+pos = [25.0, 10.0]
+
+[[server]]
+name = "www"
+ip = "10.0.0.10"
+content = "news"
+
+[[population]]
+name = "roam"
+count = 8
+ssid = "NET"
+area = [0.0, 0.0, 50.0, 20.0]
+
+[population.mobility]
+model = "waypoint"
+speed_mps = [1.0, 3.0]
+pause = "300ms"
+"#;
+
+#[test]
+fn scenario_tick_mobility_bumps_pathloss_epochs_per_move() {
+    let sc = rogue_scenario::parse_scenario(WAYPOINT_SRC).unwrap();
+    let run = rogue_scenario::run_summary(&sc).unwrap();
+    let c = &run.compiled;
+
+    assert_eq!(run.stats.walkers, 8);
+    assert!(
+        run.stats.moves > 8 * 10,
+        "4 s of 100 ms ticks must move every walker many times: {}",
+        run.stats.moves
+    );
+
+    // Each applied move bumps exactly one radio's epoch by one, so the
+    // epochs across the population must sum to the moves applied.
+    let epoch_sum: u64 = c
+        .clients
+        .iter()
+        .map(|cl| {
+            let radio = c.world.radio_id(cl.node, cl.radio);
+            c.world.medium.pos_epoch(radio)
+        })
+        .sum();
+    assert_eq!(
+        epoch_sum, run.stats.moves,
+        "every waypoint move must invalidate the mover's path-loss cache"
+    );
+
+    // And every walker actually moved (no one-walker-does-everything
+    // degenerate case).
+    for cl in &c.clients {
+        let radio = c.world.radio_id(cl.node, cl.radio);
+        assert!(
+            c.world.medium.pos_epoch(radio) > 0,
+            "{} never moved",
+            cl.spec.name
+        );
+    }
+}
+
+#[test]
+fn static_scenario_population_never_bumps_epochs() {
+    let src = WAYPOINT_SRC.replace(
+        "[population.mobility]\nmodel = \"waypoint\"\nspeed_mps = [1.0, 3.0]\npause = \"300ms\"",
+        "[population.mobility]\nmodel = \"static\"",
+    );
+    let sc = rogue_scenario::parse_scenario(&src).unwrap();
+    let run = rogue_scenario::run_summary(&sc).unwrap();
+    assert_eq!(
+        run.stats.walkers, 0,
+        "static populations register no walkers"
+    );
+    assert_eq!(run.stats.moves, 0);
+    for cl in &run.compiled.clients {
+        let radio = run.compiled.world.radio_id(cl.node, cl.radio);
+        assert_eq!(run.compiled.world.medium.pos_epoch(radio), 0);
+    }
+}

@@ -32,3 +32,41 @@ fn every_report_is_byte_identical_across_thread_counts() {
         }
     }
 }
+
+// ---------------------------------------------------------------------
+// The same contract for the scenario layer: a `.toml` file plus its
+// seed is a pure function of the text, whatever the thread count. The
+// E-series kinds fan replications out through rayon; summary runs are
+// single-world but go through the same seed-forked generators — both
+// must render identical bytes at 1, 2 and 4 threads.
+
+fn scenario_report(file: &str, overrides: &[&str]) -> String {
+    let path = format!("{}/../../scenarios/{file}", env!("CARGO_MANIFEST_DIR"));
+    let src = std::fs::read_to_string(&path).expect("scenario file");
+    let overrides: Vec<String> = overrides.iter().map(|s| s.to_string()).collect();
+    rogue_scenario::run_source(&src, &overrides).expect("scenario run")
+}
+
+#[test]
+fn scenario_reports_are_byte_identical_across_thread_counts() {
+    // E10 exercises the rayon fan-out; the campus file (downscaled so
+    // the suite stays quick) exercises the generator + mobility +
+    // traffic path end to end.
+    let cases: [(&str, &[&str]); 2] = [
+        ("e10_wids.toml", &["report.reps=1"]),
+        (
+            "campus_waypoint_500.toml",
+            &["population.0.count=12", "duration=4s"],
+        ),
+    ];
+    for (file, overrides) in cases {
+        let serial = rayon::with_num_threads(1, || scenario_report(file, overrides));
+        for threads in [2, 4] {
+            let parallel = rayon::with_num_threads(threads, || scenario_report(file, overrides));
+            assert_eq!(
+                serial, parallel,
+                "{file} diverged between 1 and {threads} threads"
+            );
+        }
+    }
+}
