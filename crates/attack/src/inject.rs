@@ -1,0 +1,32 @@
+//! Raw-frame injection strategies.
+//!
+//! Everything the §4 attacker transmits outside a real MAC association —
+//! forged deauths, spoofed beacons, karma probe responses — is an
+//! *injector*: a pure schedule of raw frames driven like a MAC entity.
+//! The world polls each injector at [`FrameInjector::next_wake`] and
+//! transmits whatever [`FrameInjector::poll`] emits on the attacker's
+//! radio, so one world-side attachment point covers every injection
+//! attack, present and future.
+
+use rogue_dot11::output::MacOutput;
+use rogue_sim::SimTime;
+
+/// A raw-frame injection schedule.
+pub trait FrameInjector {
+    /// Earliest instant this injector needs a poll
+    /// ([`SimTime::FOREVER`] when done).
+    fn next_wake(&self) -> SimTime;
+
+    /// Emit every frame due at or before `now`.
+    fn poll(&mut self, now: SimTime, out: &mut Vec<MacOutput>);
+}
+
+impl FrameInjector for crate::DeauthFlooder {
+    fn next_wake(&self) -> SimTime {
+        crate::DeauthFlooder::next_wake(self)
+    }
+
+    fn poll(&mut self, now: SimTime, out: &mut Vec<MacOutput>) {
+        crate::DeauthFlooder::poll(self, now, out)
+    }
+}

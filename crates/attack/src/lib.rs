@@ -16,16 +16,24 @@
 //!   rogue [`rogue_dot11::ApConfig`] (Figure 1),
 //! * [`gateway`] — the Appendix A bridge recipe: IP forwarding, proxy
 //!   ARP, host routes, the DNAT rule and the netsed invocation, bundled
-//!   into one reproducible setup.
+//!   into one reproducible setup,
+//! * [`inject`] — the [`inject::FrameInjector`] trait every raw-frame
+//!   schedule implements (the world's single injection attachment),
+//! * [`evasion`] — WIDS-evading attacker variants: MAC-randomizing and
+//!   karma/cloaked rogues, low-power spoof beaconing, pulsed deauth.
 
 pub mod airsnort;
 pub mod arpspoof;
 pub mod deauth;
+pub mod evasion;
 pub mod gateway;
+pub mod inject;
 pub mod rogue;
 
 pub use airsnort::Airsnort;
 pub use arpspoof::ArpSpoofer;
 pub use deauth::DeauthFlooder;
+pub use evasion::{KarmaProbeRogue, MacRandomizingRogue, PulsedDeauthFlooder, SpoofBeaconer};
 pub use gateway::MitmGatewayConfig;
+pub use inject::FrameInjector;
 pub use rogue::clone_ap;

@@ -23,4 +23,5 @@ pub mod e7_matrix;
 pub mod e8_hotspot;
 pub mod e9_containment;
 
+pub mod e10_evasion;
 pub mod e10_wids;

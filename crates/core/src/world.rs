@@ -23,7 +23,7 @@
 use std::collections::HashMap;
 
 use bytes::Bytes;
-use rogue_attack::DeauthFlooder;
+use rogue_attack::FrameInjector;
 use rogue_detect::wired::WiredMonitor;
 use rogue_dot11::ap::ApMac;
 use rogue_dot11::monitor::Sniffer;
@@ -87,7 +87,7 @@ enum RadioRole {
         sniffer: Sniffer,
     },
     Injector {
-        flooder: DeauthFlooder,
+        injector: Box<dyn FrameInjector>,
     },
 }
 
@@ -399,19 +399,22 @@ impl World {
         }
     }
 
-    /// Attach a raw-frame injector (forged deauth) on `channel`.
+    /// Attach a raw-frame injector (forged deauth, spoofed beacons,
+    /// any [`FrameInjector`] schedule) on `channel`.
     pub fn add_injector(
         &mut self,
         n: NodeId,
         pos: Pos,
         tx_power_dbm: f64,
         channel: u8,
-        flooder: DeauthFlooder,
+        injector: impl FrameInjector + 'static,
     ) -> usize {
         let radio = self.register_radio(n.0, pos, channel, tx_power_dbm);
         self.nodes[n.0].radios.push(RadioBinding {
             radio,
-            role: RadioRole::Injector { flooder },
+            role: RadioRole::Injector {
+                injector: Box::new(injector),
+            },
         });
         self.schedule_poll(n.0, self.queue.now());
         self.nodes[n.0].radios.len() - 1
@@ -810,7 +813,7 @@ impl World {
                 RadioRole::ApLocal { mac, .. } | RadioRole::ApBridge { mac, .. } => {
                     mac.poll(now, &mut outs)
                 }
-                RadioRole::Injector { flooder } => flooder.poll(now, &mut outs),
+                RadioRole::Injector { injector } => injector.poll(now, &mut outs),
                 RadioRole::Monitor { .. } => {}
             }
             self.process_mac_outputs(now, node, r, outs);
@@ -908,7 +911,7 @@ impl World {
             wake = wake.min(match &rb.role {
                 RadioRole::Sta { mac, .. } => mac.next_wake(),
                 RadioRole::ApLocal { mac, .. } | RadioRole::ApBridge { mac, .. } => mac.next_wake(),
-                RadioRole::Injector { flooder } => flooder.next_wake(),
+                RadioRole::Injector { injector } => injector.next_wake(),
                 RadioRole::Monitor { .. } => SimTime::FOREVER,
             });
         }
@@ -953,6 +956,7 @@ impl World {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use rogue_attack::DeauthFlooder;
     use rogue_dot11::frame::FrameBody;
     use rogue_dot11::StaConfig;
 

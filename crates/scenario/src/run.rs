@@ -10,7 +10,7 @@
 //!   `rogue-bench` harness prints. At the paper defaults the output is
 //!   byte-identical to the checked-in report.
 
-use rogue_core::experiments::{e10_wids, e1_association};
+use rogue_core::experiments::{e10_evasion, e10_wids, e1_association};
 use rogue_core::report::Table;
 use rogue_core::scenario::CorpScenarioCfg;
 use rogue_dot11::MacEvent;
@@ -206,6 +206,19 @@ pub fn run_scenario(sc: &Scenario) -> Result<String, Error> {
                 .unwrap_or_else(CorpScenarioCfg::paper_attack);
             let params = sc.e10.clone().unwrap_or_default();
             Ok(e10_wids::report_body(
+                &base,
+                &params,
+                sc.report.reps,
+                sc.seed,
+            ))
+        }
+        ReportKind::E10Evasion => {
+            let base = sc
+                .corp
+                .clone()
+                .unwrap_or_else(CorpScenarioCfg::paper_attack);
+            let params = sc.e10_evasion.clone().unwrap_or_default();
+            Ok(e10_evasion::report_body(
                 &base,
                 &params,
                 sc.report.reps,

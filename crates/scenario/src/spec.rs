@@ -6,6 +6,7 @@
 //! its line/column instead of being silently ignored — the failure mode
 //! that makes config languages untrustworthy.
 
+use rogue_core::experiments::e10_evasion::{E10EvasionParams, EvasionVariant};
 use rogue_core::experiments::e10_wids::{E10Params, WidsScenario};
 use rogue_core::experiments::e1_association::E1Params;
 use rogue_core::scenario::{CorpScenarioCfg, RogueCfg};
@@ -37,6 +38,8 @@ pub struct Scenario {
     pub e1: Option<E1Params>,
     /// E10 driver parameters (report kind `e10`).
     pub e10: Option<E10Params>,
+    /// E10-evasion driver parameters (report kind `e10-evasion`).
+    pub e10_evasion: Option<E10EvasionParams>,
     /// Infrastructure APs.
     pub aps: Vec<ApSpec>,
     /// Wired servers.
@@ -60,6 +63,8 @@ pub enum ReportKind {
     E1,
     /// The E10 WIDS score card (requires `[corp]`/`[e10]`).
     E10,
+    /// The E10-evasion score card (`[corp]`/`[e10_evasion]`).
+    E10Evasion,
 }
 
 /// The `[report]` section.
@@ -457,6 +462,10 @@ pub fn from_table(root: &Table) -> Result<Scenario, Error> {
         None => None,
         Some(item) => Some(read_e10(as_table(item, "[e10]")?)?),
     };
+    let e10_evasion = match top.take("e10_evasion") {
+        None => None,
+        Some(item) => Some(read_e10_evasion(as_table(item, "[e10_evasion]")?)?),
+    };
 
     let aps = tables_of(&mut top, "ap", "[[ap]]")?
         .into_iter()
@@ -498,6 +507,7 @@ pub fn from_table(root: &Table) -> Result<Scenario, Error> {
         corp,
         e1,
         e10,
+        e10_evasion,
         aps,
         servers,
         populations,
@@ -524,7 +534,7 @@ fn cross_validate(sc: &Scenario, span: Span) -> Result<(), Error> {
                 return Err(Error::at(span, "populations need at least one [[ap]]"));
             }
         }
-        ReportKind::E1 | ReportKind::E10 => {}
+        ReportKind::E1 | ReportKind::E10 | ReportKind::E10Evasion => {}
     }
     for p in &sc.populations {
         if !sc.aps.iter().any(|ap| ap.ssid == p.ssid) {
@@ -709,6 +719,50 @@ fn read_e10(t: &Table) -> Result<E10Params, Error> {
                 })
             })
             .collect::<Result<Vec<_>, _>>()?;
+    }
+    s.finish()?;
+    Ok(p)
+}
+
+fn read_e10_evasion(t: &Table) -> Result<E10EvasionParams, Error> {
+    let mut s = Sect::new(t, "[e10_evasion]");
+    let mut p = E10EvasionParams::default();
+    if let Some(i) = s.take("run_time") {
+        p.run_time = as_time(i)?;
+    }
+    if let Some(i) = s.take("attack_start") {
+        p.attack_start = as_time(i)?;
+    }
+    if let Some(i) = s.take("slice") {
+        p.slice = as_duration(i)?;
+    }
+    if let Some(i) = s.take("monitor_channels") {
+        p.monitor_channels = as_channel_vec(i)?;
+    }
+    if let Some(i) = s.take("monitor_pos") {
+        p.monitor_pos = as_pos(i)?;
+    }
+    if let Some(i) = s.take("match_window") {
+        p.match_window = as_duration(i)?;
+    }
+    if let Some(i) = s.take("variants") {
+        p.variants = as_array(i)?
+            .iter()
+            .map(|item| {
+                let name = as_str(item)?;
+                EvasionVariant::from_name(name).ok_or_else(|| {
+                    Error::at(
+                        item.span,
+                        format!(
+                            "unknown evasion variant `{name}` (expected mac-randomizing,                              karma-cloaked, low-power-stealth or pulsed-deauth)"
+                        ),
+                    )
+                })
+            })
+            .collect::<Result<Vec<_>, _>>()?;
+        if p.variants.is_empty() {
+            return Err(Error::at(i.span, "variants must name at least one variant"));
+        }
     }
     s.finish()?;
     Ok(p)
@@ -996,10 +1050,13 @@ fn read_report(t: &Table) -> Result<ReportSpec, Error> {
             "summary" => ReportKind::Summary,
             "e1" => ReportKind::E1,
             "e10" => ReportKind::E10,
+            "e10-evasion" => ReportKind::E10Evasion,
             other => {
                 return Err(Error::at(
                     item.span,
-                    format!("unknown report kind `{other}` (expected summary, e1 or e10)"),
+                    format!(
+                        "unknown report kind `{other}` (expected summary, e1, e10 or e10-evasion)"
+                    ),
                 ))
             }
         },

@@ -1,0 +1,174 @@
+//! Structure-of-arrays frame blocks for batched detector evaluation.
+//!
+//! The per-frame path dispatches every event through every detector via
+//! trait objects — one virtual call and one hash per detector per frame.
+//! The batch path instead digests a whole block of events into columnar
+//! arrays once (timestamps, transmitter addresses, pre-mixed hashes,
+//! group assignments), then lets the shardable detectors sweep their
+//! column slices shard-by-shard with no per-event virtual dispatch.
+//!
+//! A block also carries the *routing plan*: for each shard, the ascending
+//! list of rows whose transmitter group falls inside that shard's group
+//! range. Two invariants make sharded evaluation bit-identical to
+//! serial:
+//!
+//! 1. every row of one transmitter lands in exactly one shard (groups
+//!    partition by key hash, shards own contiguous group ranges), and
+//! 2. each shard visits its rows in ascending row order — the same
+//!    relative order the serial path would have used, and per-key state
+//!    only ever depends on that key's own history.
+
+use rogue_dot11::MacAddr;
+use rogue_sim::SimTime;
+
+use crate::detectors::seq::TA_GROUPS;
+use crate::event::{Dot11Kind, SensorEvent};
+use crate::sketch::hash_mac;
+
+/// One batch of radio rows in structure-of-arrays layout. Rows cover the
+/// Dot11 events the shardable detectors consume (everything but ACKs);
+/// `event_idx` maps each row back to its position in the source batch so
+/// alert ordering can be reconstructed exactly.
+pub(crate) struct FrameBlock {
+    /// Source-batch index of each row.
+    pub event_idx: Vec<u32>,
+    pub at: Vec<SimTime>,
+    pub ta: Vec<MacAddr>,
+    pub seq: Vec<u16>,
+    pub channel: Vec<u8>,
+    pub retry: Vec<bool>,
+    /// `ta == bssid` for the row — the AP-role signal.
+    pub is_ap: Vec<bool>,
+    pub rssi_dbm: Vec<f64>,
+    pub sensor: Vec<u16>,
+    /// Bounded-table group of the transmitter hash; shard routing and
+    /// every per-source table lookup share this one value.
+    pub group: Vec<u32>,
+    /// Ascending row indices owned by each shard.
+    pub shard_rows: Vec<Vec<u32>>,
+    /// Source-batch indices of beacon frames (broadcast and probe
+    /// response) — the only events the beacon and probe auditors
+    /// consume. The cross-key phase walks these lists instead of
+    /// re-matching every event's kind against every detector.
+    pub beacon_events: Vec<u32>,
+    /// Source-batch indices of deauthentication frames.
+    pub deauth_events: Vec<u32>,
+    /// Source-batch indices of wired ARP events.
+    pub arp_events: Vec<u32>,
+}
+
+impl FrameBlock {
+    /// Digest `events` into columns and route rows across `shards`
+    /// (which must divide the group count).
+    pub fn build(events: &[SensorEvent], shards: usize) -> FrameBlock {
+        assert!(shards >= 1 && TA_GROUPS.is_multiple_of(shards));
+        let groups_per_shard = (TA_GROUPS / shards) as u32;
+        let mut b = FrameBlock {
+            event_idx: Vec::with_capacity(events.len()),
+            at: Vec::with_capacity(events.len()),
+            ta: Vec::with_capacity(events.len()),
+            seq: Vec::with_capacity(events.len()),
+            channel: Vec::with_capacity(events.len()),
+            retry: Vec::with_capacity(events.len()),
+            is_ap: Vec::with_capacity(events.len()),
+            rssi_dbm: Vec::with_capacity(events.len()),
+            sensor: Vec::with_capacity(events.len()),
+            group: Vec::with_capacity(events.len()),
+            shard_rows: vec![Vec::new(); shards],
+            beacon_events: Vec::new(),
+            deauth_events: Vec::new(),
+            arp_events: Vec::new(),
+        };
+        for (i, ev) in events.iter().enumerate() {
+            let SensorEvent::Dot11(e) = ev else {
+                b.arp_events.push(i as u32);
+                continue;
+            };
+            match e.kind {
+                Dot11Kind::Ack => continue,
+                Dot11Kind::Beacon { .. } => b.beacon_events.push(i as u32),
+                Dot11Kind::Deauth { .. } => b.deauth_events.push(i as u32),
+                _ => {}
+            }
+            let row = b.event_idx.len() as u32;
+            let h = hash_mac(&e.ta.0);
+            let group = (h & (TA_GROUPS as u64 - 1)) as u32;
+            b.event_idx.push(i as u32);
+            b.at.push(e.at);
+            b.ta.push(e.ta);
+            b.seq.push(e.seq);
+            b.channel.push(e.channel);
+            b.retry.push(e.retry);
+            b.is_ap.push(e.ta == e.bssid);
+            b.rssi_dbm.push(e.rssi_dbm);
+            b.sensor.push(e.sensor.0);
+            b.group.push(group);
+            b.shard_rows[(group / groups_per_shard) as usize].push(row);
+        }
+        b
+    }
+
+    /// Rows digested into the block.
+    pub fn rows(&self) -> usize {
+        self.event_idx.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::{Dot11Event, SensorId};
+
+    fn frame(ms: u64, ta: MacAddr, kind: Dot11Kind) -> SensorEvent {
+        SensorEvent::Dot11(Dot11Event {
+            sensor: SensorId(2),
+            at: SimTime::from_millis(ms),
+            channel: 6,
+            rssi_dbm: -42.0,
+            ta,
+            ra: MacAddr::BROADCAST,
+            bssid: ta,
+            seq: (ms % 4096) as u16,
+            retry: false,
+            kind,
+        })
+    }
+
+    #[test]
+    fn rows_partition_across_shards_in_order() {
+        let events: Vec<SensorEvent> = (0..100u64)
+            .map(|i| frame(i, MacAddr::local(i % 10), Dot11Kind::Mgmt))
+            .collect();
+        let b = FrameBlock::build(&events, 8);
+        assert_eq!(b.rows(), 100);
+        let mut seen: Vec<u32> = b.shard_rows.iter().flatten().copied().collect();
+        assert_eq!(seen.len(), 100, "every row routed exactly once");
+        seen.sort_unstable();
+        assert_eq!(seen, (0..100).collect::<Vec<u32>>());
+        for rows in &b.shard_rows {
+            assert!(rows.windows(2).all(|w| w[0] < w[1]), "ascending per shard");
+        }
+        // All frames of one transmitter live in one shard.
+        for ta in 0..10u64 {
+            let shards_hit: Vec<usize> = b
+                .shard_rows
+                .iter()
+                .enumerate()
+                .filter(|(_, rows)| rows.iter().any(|&r| b.ta[r as usize] == MacAddr::local(ta)))
+                .map(|(s, _)| s)
+                .collect();
+            assert_eq!(shards_hit.len(), 1, "ta {ta} split across shards");
+        }
+    }
+
+    #[test]
+    fn acks_and_arp_events_produce_no_rows() {
+        let events = vec![
+            frame(0, MacAddr::local(1), Dot11Kind::Ack),
+            frame(1, MacAddr::local(1), Dot11Kind::Mgmt),
+        ];
+        let b = FrameBlock::build(&events, 4);
+        assert_eq!(b.rows(), 1);
+        assert_eq!(b.event_idx[0], 1, "row maps back to the source index");
+    }
+}

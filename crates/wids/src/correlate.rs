@@ -43,7 +43,10 @@ impl IncidentCategory {
             | AlertKind::ChannelDivergence
             | AlertKind::SsidClone
             | AlertKind::BssidSpoof
-            | AlertKind::RssiInconsistent => IncidentCategory::RogueAp,
+            | AlertKind::RssiInconsistent
+            | AlertKind::SsidChurn
+            | AlertKind::CloakedTwin
+            | AlertKind::KarmaProbe => IncidentCategory::RogueAp,
             AlertKind::DeauthFlood => IncidentCategory::DeauthFlood,
             AlertKind::ArpSpoof => IncidentCategory::ArpSpoof,
         }

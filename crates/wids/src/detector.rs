@@ -29,6 +29,15 @@ pub enum AlertKind {
     RssiInconsistent,
     /// Conflicting or unsolicited ARP bindings on a wired segment.
     ArpSpoof,
+    /// Many distinct unregistered BSSIDs advertising one owned SSID —
+    /// the MAC-randomizing evil twin's signature.
+    SsidChurn,
+    /// A BSSID probe-responding an owned SSID it never beacons — a
+    /// beacon-cloaked evil twin.
+    CloakedTwin,
+    /// One BSSID probe-responding many distinct SSIDs — karma-style
+    /// probe abuse.
+    KarmaProbe,
 }
 
 /// One piece of single-detector evidence.

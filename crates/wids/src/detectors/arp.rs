@@ -9,8 +9,11 @@
 //!   address is suddenly claimed by another,
 //! * a **gratuitous burst** — repeated unsolicited is-at replies, the
 //!   shape poisoners use to keep victim caches warm.
-
-use std::collections::{HashMap, HashSet};
+//!
+//! The learned binding table, the conflict-alert latches, and the burst
+//! counters all live on the bounded substrates in [`crate::sketch`]:
+//! memory is fixed at construction, so a spoofer cycling forged
+//! addresses recycles slots instead of growing the detector.
 
 use rogue_dot11::MacAddr;
 use rogue_netstack::Ipv4Addr;
@@ -18,6 +21,17 @@ use rogue_sim::{SimDuration, SimTime};
 
 use crate::detector::{AlertKind, Detector, RawAlert};
 use crate::event::SensorEvent;
+use crate::sketch::{hash_mac, mix64, BoundedTable, WindowCounter};
+
+const BIND_GROUPS: usize = 1024;
+const BIND_WAYS: usize = 4;
+
+/// Hash an IPv4 address into the shared key-hash domain.
+#[inline]
+fn hash_ip(ip: Ipv4Addr) -> u64 {
+    let o = ip.octets();
+    mix64(u32::from_be_bytes(o) as u64)
+}
 
 /// Spoof tuning.
 #[derive(Clone, Debug)]
@@ -42,10 +56,11 @@ impl Default for ArpSpoofConfig {
 pub struct ArpSpoofDetector {
     cfg: ArpSpoofConfig,
     /// Learned IP -> hardware bindings, first claim wins.
-    bindings: HashMap<Ipv4Addr, MacAddr>,
-    alerted_conflicts: HashSet<(Ipv4Addr, MacAddr)>,
-    gratuitous: HashMap<MacAddr, Vec<SimTime>>,
-    alerted_bursts: HashSet<MacAddr>,
+    bindings: BoundedTable<Ipv4Addr, MacAddr>,
+    /// Once-only latches for already-reported (IP, claimant) conflicts.
+    alerted_conflicts: BoundedTable<(Ipv4Addr, MacAddr), ()>,
+    gratuitous: WindowCounter,
+    alerted_bursts: BoundedTable<MacAddr, ()>,
     /// ARP packets inspected.
     pub arps_seen: u64,
 }
@@ -54,11 +69,11 @@ impl ArpSpoofDetector {
     /// Detector with the given tuning.
     pub fn new(cfg: ArpSpoofConfig) -> ArpSpoofDetector {
         ArpSpoofDetector {
+            gratuitous: WindowCounter::new(cfg.window, 10, 512, 4),
             cfg,
-            bindings: HashMap::new(),
-            alerted_conflicts: HashSet::new(),
-            gratuitous: HashMap::new(),
-            alerted_bursts: HashSet::new(),
+            bindings: BoundedTable::new(BIND_GROUPS, BIND_WAYS),
+            alerted_conflicts: BoundedTable::new(BIND_GROUPS, BIND_WAYS),
+            alerted_bursts: BoundedTable::new(BIND_GROUPS, BIND_WAYS),
             arps_seen: 0,
         }
     }
@@ -66,7 +81,15 @@ impl ArpSpoofDetector {
     /// Pre-seed a trusted IP -> MAC binding (from the site inventory),
     /// so the first spoofed claim conflicts instead of being learned.
     pub fn trust(&mut self, ip: Ipv4Addr, mac: MacAddr) {
-        self.bindings.insert(ip, mac);
+        *self.bindings.entry(SimTime::ZERO, hash_ip(ip), ip, || mac) = mac;
+    }
+
+    /// Fixed state footprint, in bytes.
+    pub fn state_bytes(&self) -> usize {
+        self.bindings.bytes()
+            + self.alerted_conflicts.bytes()
+            + self.gratuitous.bytes()
+            + self.alerted_bursts.bytes()
     }
 }
 
@@ -86,12 +109,16 @@ impl Detector for ArpSpoofDetector {
         self.arps_seen += 1;
         // Binding conflict: the claim under scrutiny is sender_ip is-at
         // sender_mac, regardless of op (requests leak bindings too).
-        match self.bindings.get(&e.sender_ip) {
+        let iph = hash_ip(e.sender_ip);
+        match self.bindings.get_touch(e.at, iph, e.sender_ip).map(|m| *m) {
             None => {
-                self.bindings.insert(e.sender_ip, e.sender_mac);
+                self.bindings.entry(e.at, iph, e.sender_ip, || e.sender_mac);
             }
-            Some(&bound) if bound != e.sender_mac => {
-                if self.alerted_conflicts.insert((e.sender_ip, e.sender_mac)) {
+            Some(bound) if bound != e.sender_mac => {
+                let latch = (e.sender_ip, e.sender_mac);
+                let h = iph ^ hash_mac(&e.sender_mac.0);
+                if self.alerted_conflicts.get_touch(e.at, h, latch).is_none() {
+                    self.alerted_conflicts.entry(e.at, h, latch, || ());
                     out.push(RawAlert {
                         at: e.at,
                         detector: "arp-spoof",
@@ -111,24 +138,19 @@ impl Detector for ArpSpoofDetector {
         if !e.gratuitous {
             return;
         }
-        let times = self.gratuitous.entry(e.src_mac).or_default();
-        times.push(e.at);
-        let window_start = SimTime(e.at.as_nanos().saturating_sub(self.cfg.window.as_nanos()));
-        times.retain(|&t| t >= window_start);
-        if times.len() as u32 >= self.cfg.gratuitous_threshold
-            && self.alerted_bursts.insert(e.src_mac)
+        let mh = hash_mac(&e.src_mac.0);
+        let count = self.gratuitous.observe(e.at, mh);
+        if count >= self.cfg.gratuitous_threshold
+            && self.alerted_bursts.get_touch(e.at, mh, e.src_mac).is_none()
         {
+            self.alerted_bursts.entry(e.at, mh, e.src_mac, || ());
             out.push(RawAlert {
                 at: e.at,
                 detector: "arp-spoof",
                 subject: e.src_mac,
                 kind: AlertKind::ArpSpoof,
                 weight: 0.6,
-                detail: format!(
-                    "{} gratuitous replies within {}",
-                    times.len(),
-                    self.cfg.window
-                ),
+                detail: format!("{count} gratuitous replies within {}", self.cfg.window),
             });
         }
     }
@@ -204,5 +226,19 @@ mod tests {
             d.on_event(&reply(i * 100, host, ip, false), &mut out);
         }
         assert!(out.is_empty(), "{out:?}");
+    }
+
+    #[test]
+    fn state_is_fixed_under_forged_claims() {
+        let mut d = ArpSpoofDetector::default();
+        let mut out = Vec::new();
+        let before = d.state_bytes();
+        for i in 0..100_000u64 {
+            let mac = MacAddr::local(i + 1);
+            let ip = Ipv4Addr::new(10, (i >> 16) as u8, (i >> 8) as u8, i as u8);
+            d.on_event(&reply(i / 10, mac, ip, false), &mut out);
+        }
+        assert_eq!(d.state_bytes(), before, "tables must not grow");
+        assert!(d.bindings.tracked() <= d.bindings.capacity());
     }
 }

@@ -1,4 +1,4 @@
-//! Beacon analysis: SSID clones and BSSID spoofs.
+//! Beacon analysis: SSID clones, BSSID spoofs, and churn.
 //!
 //! The streaming counterpart of `rogue_detect::audit::SiteAuditor` —
 //! instead of digesting a finished sweep, it checks every beacon as it
@@ -8,20 +8,59 @@
 //! * an **authorized BSSID** heard beaconing on a channel it is not
 //!   registered for is the Figure-1 cloned-BSSID rogue,
 //! * an **authorized SSID** advertised by an unregistered BSSID is an
-//!   evil twin inviting stations to roam.
+//!   evil twin inviting stations to roam,
+//! * **many distinct** unregistered BSSIDs advertising one owned SSID
+//!   inside a short window is the MAC-randomizing twin: each individual
+//!   clone claim is weak (any café can reuse a name), but a parade of
+//!   fresh BSSIDs behind one owned name is near-certain evasion.
+//!
+//! Only broadcast beacons are audited — directed probe responses are the
+//! probe-audit detector's business, and mixing them in would double-count
+//! every advertisement.
 
 use std::collections::HashSet;
 
 use rogue_dot11::MacAddr;
+use rogue_sim::SimDuration;
 
 use crate::detector::{AlertKind, Detector, RawAlert};
 use crate::event::{Dot11Kind, SensorEvent};
+use crate::sketch::{hash_mac, mix64, BoundedTable, WindowCounter};
+
+const CLONE_GROUPS: usize = 4096;
+const CLONE_WAYS: usize = 4;
+
+/// Hash an SSID into the shared key-hash domain.
+#[inline]
+pub(crate) fn hash_ssid(ssid: &str) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64; // FNV-1a offset basis
+    for b in ssid.as_bytes() {
+        h ^= *b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    mix64(h)
+}
 
 /// Registry-driven tuning.
-#[derive(Clone, Debug, Default)]
+#[derive(Clone, Debug)]
 pub struct BeaconConfig {
     /// Authorized (BSSID, channel) pairs.
     pub authorized: Vec<(MacAddr, u8)>,
+    /// Distinct unregistered BSSIDs advertising one owned SSID within
+    /// [`BeaconConfig::churn_window`] needed for a churn alert.
+    pub churn_threshold: u32,
+    /// Sliding window for the churn count.
+    pub churn_window: SimDuration,
+}
+
+impl Default for BeaconConfig {
+    fn default() -> Self {
+        BeaconConfig {
+            authorized: Vec::new(),
+            churn_threshold: 6,
+            churn_window: SimDuration::from_secs(10),
+        }
+    }
 }
 
 impl BeaconConfig {
@@ -29,6 +68,7 @@ impl BeaconConfig {
     pub fn single_ap(bssid: MacAddr, channel: u8) -> BeaconConfig {
         BeaconConfig {
             authorized: vec![(bssid, channel)],
+            ..BeaconConfig::default()
         }
     }
 }
@@ -37,10 +77,18 @@ impl BeaconConfig {
 pub struct BeaconDetector {
     cfg: BeaconConfig,
     /// SSIDs owned by registered APs (learned from beacons of authorized
-    /// BSSIDs on their registered channels).
+    /// BSSIDs on their registered channels). Bounded by the registry.
     owned_ssids: HashSet<String>,
+    /// Once-only latches per (BSSID, channel) spoof. Keys are drawn from
+    /// the registry, so the set stays registry-sized.
     alerted_spoof: HashSet<(MacAddr, u8)>,
-    alerted_clone: HashSet<(String, MacAddr)>,
+    /// Once-only latches per (owned SSID, cloning BSSID) pair — bounded,
+    /// since the cloning BSSID is attacker-chosen.
+    alerted_clone: BoundedTable<(u64, MacAddr), ()>,
+    /// Fresh clone pairs per owned SSID over the churn window.
+    churn: WindowCounter,
+    /// SSIDs already churn-alerted (bounded by owned SSID count).
+    alerted_churn: HashSet<u64>,
     /// Beacons inspected.
     pub beacons_seen: u64,
 }
@@ -49,10 +97,12 @@ impl BeaconDetector {
     /// Detector over the given registry.
     pub fn new(cfg: BeaconConfig) -> BeaconDetector {
         BeaconDetector {
+            churn: WindowCounter::new(cfg.churn_window, 10, 512, 4),
             cfg,
             owned_ssids: HashSet::new(),
             alerted_spoof: HashSet::new(),
-            alerted_clone: HashSet::new(),
+            alerted_clone: BoundedTable::new(CLONE_GROUPS, CLONE_WAYS),
+            alerted_churn: HashSet::new(),
             beacons_seen: 0,
         }
     }
@@ -65,9 +115,15 @@ impl Detector for BeaconDetector {
 
     fn on_event(&mut self, ev: &SensorEvent, out: &mut Vec<RawAlert>) {
         let SensorEvent::Dot11(e) = ev else { return };
-        let Dot11Kind::Beacon { ssid, .. } = &e.kind else {
+        let Dot11Kind::Beacon {
+            ssid, probe_resp, ..
+        } = &e.kind
+        else {
             return;
         };
+        if *probe_resp {
+            return; // directed advertisements belong to probe-audit
+        }
         self.beacons_seen += 1;
         let bssid_known = self.cfg.authorized.iter().any(|(b, _)| *b == e.bssid);
         let pair_known = self
@@ -98,14 +154,38 @@ impl Detector for BeaconDetector {
             return;
         }
         // Unknown BSSID advertising a name we own: an evil twin.
-        if self.owned_ssids.contains(ssid) && self.alerted_clone.insert((ssid.clone(), e.bssid)) {
+        if !self.owned_ssids.contains(ssid) {
+            return;
+        }
+        let sh = hash_ssid(ssid);
+        let pair = (sh, e.bssid);
+        let ph = mix64(sh ^ hash_mac(&e.bssid.0));
+        if self.alerted_clone.get_touch(e.at, ph, pair).is_some() {
+            return; // this pair already reported
+        }
+        self.alerted_clone.entry(e.at, ph, pair, || ());
+        out.push(RawAlert {
+            at: e.at,
+            detector: "beacon-audit",
+            subject: e.bssid,
+            kind: AlertKind::SsidClone,
+            weight: 0.6,
+            detail: format!("unregistered BSSID advertising owned SSID {ssid:?}"),
+        });
+        // A fresh pair also feeds the churn count for this SSID: one
+        // rotating rogue looks like a stream of new weak clone claims.
+        let fresh = self.churn.observe(e.at, sh);
+        if fresh >= self.cfg.churn_threshold && self.alerted_churn.insert(sh) {
             out.push(RawAlert {
                 at: e.at,
                 detector: "beacon-audit",
                 subject: e.bssid,
-                kind: AlertKind::SsidClone,
-                weight: 0.6,
-                detail: format!("unregistered BSSID advertising owned SSID {ssid:?}"),
+                kind: AlertKind::SsidChurn,
+                weight: 0.95,
+                detail: format!(
+                    "{fresh} distinct unregistered BSSIDs advertising owned SSID {ssid:?} within {}",
+                    self.cfg.churn_window
+                ),
             });
         }
     }
@@ -132,6 +212,7 @@ mod tests {
                 ssid: ssid.into(),
                 claimed_channel: channel,
                 capability: 0,
+                probe_resp: false,
             },
         })
     }
@@ -172,5 +253,67 @@ mod tests {
         d.on_event(&beacon(0, corp, "CORP", 1), &mut out);
         d.on_event(&beacon(10, cafe, "CAFE", 11), &mut out);
         assert!(out.is_empty(), "{out:?}");
+    }
+
+    #[test]
+    fn probe_responses_are_not_audited_here() {
+        let corp = MacAddr::local(1);
+        let twin = MacAddr::local(9);
+        let mut d = BeaconDetector::new(BeaconConfig::single_ap(corp, 1));
+        let mut out = Vec::new();
+        d.on_event(&beacon(0, corp, "CORP", 1), &mut out);
+        let mut pr = beacon(50, twin, "CORP", 11);
+        if let SensorEvent::Dot11(e) = &mut pr {
+            if let Dot11Kind::Beacon { probe_resp, .. } = &mut e.kind {
+                *probe_resp = true;
+            }
+        }
+        d.on_event(&pr, &mut out);
+        assert!(out.is_empty(), "{out:?}");
+        assert_eq!(d.beacons_seen, 1, "probe responses are not beacons");
+    }
+
+    #[test]
+    fn rotating_bssids_raise_churn() {
+        let corp = MacAddr::local(1);
+        let mut d = BeaconDetector::new(BeaconConfig::single_ap(corp, 1));
+        let mut out = Vec::new();
+        d.on_event(&beacon(0, corp, "CORP", 1), &mut out);
+        // A rogue rotating its BSSID every 500 ms under the owned name.
+        for i in 0..8u64 {
+            d.on_event(
+                &beacon(100 + i * 500, MacAddr::local(100 + i), "CORP", 11),
+                &mut out,
+            );
+        }
+        let churn: Vec<_> = out
+            .iter()
+            .filter(|a| a.kind == AlertKind::SsidChurn)
+            .collect();
+        assert_eq!(churn.len(), 1, "{out:?}");
+        assert!(churn[0].weight > 0.9);
+        // Each rotation also produced its individual weak clone claim.
+        assert_eq!(
+            out.iter()
+                .filter(|a| a.kind == AlertKind::SsidClone)
+                .count(),
+            8
+        );
+    }
+
+    #[test]
+    fn a_single_stable_twin_does_not_churn() {
+        let corp = MacAddr::local(1);
+        let twin = MacAddr::local(9);
+        let mut d = BeaconDetector::new(BeaconConfig::single_ap(corp, 1));
+        let mut out = Vec::new();
+        d.on_event(&beacon(0, corp, "CORP", 1), &mut out);
+        for i in 0..100u64 {
+            d.on_event(&beacon(50 + i * 100, twin, "CORP", 11), &mut out);
+        }
+        assert!(
+            out.iter().all(|a| a.kind != AlertKind::SsidChurn),
+            "{out:?}"
+        );
     }
 }

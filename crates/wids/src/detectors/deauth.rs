@@ -5,14 +5,26 @@
 //! either an attacker breaking a sticky association or a containment
 //! system at work. Legitimate disconnects are rare and isolated; the
 //! detector counts deauths per claimed transmitter in a sliding window.
+//!
+//! Counting lives in [`WindowCounter`] sketches, so memory is fixed no
+//! matter how many forged transmitter addresses appear. Two horizons run
+//! side by side:
+//!
+//! * the **short window** catches the classic burst flood;
+//! * the **long window** catches *pulsed* floods — short bursts spaced
+//!   so the short window never fills, but whose long-run rate is still
+//!   far beyond anything legitimate. Once a transmitter has a burst
+//!   alert the pulsed check stays quiet for it: the long horizon adds
+//!   nothing the burst did not already say.
 
-use std::collections::HashMap;
-
-use rogue_dot11::MacAddr;
-use rogue_sim::{SimDuration, SimTime};
+use rogue_sim::SimDuration;
 
 use crate::detector::{AlertKind, Detector, RawAlert};
 use crate::event::{Dot11Kind, SensorEvent};
+use crate::sketch::{hash_mac, BoundedTable, WindowCounter};
+
+const FLAG_GROUPS: usize = 4096;
+const FLAG_WAYS: usize = 4;
 
 /// Flood tuning.
 #[derive(Clone, Debug)]
@@ -21,6 +33,11 @@ pub struct DeauthFloodConfig {
     pub threshold: u32,
     /// Sliding evidence window.
     pub window: SimDuration,
+    /// Deauths within [`DeauthFloodConfig::pulse_window`] needed for a
+    /// pulsed-flood alert when the short window never fills.
+    pub pulse_threshold: u32,
+    /// Long horizon for the pulsed-flood count.
+    pub pulse_window: SimDuration,
 }
 
 impl Default for DeauthFloodConfig {
@@ -28,19 +45,25 @@ impl Default for DeauthFloodConfig {
         DeauthFloodConfig {
             threshold: 5,
             window: SimDuration::from_secs(2),
+            pulse_threshold: 12,
+            pulse_window: SimDuration::from_secs(20),
         }
     }
 }
 
-struct TaState {
-    times: Vec<SimTime>,
-    alerted: bool,
+/// Per-transmitter once-only alert latches.
+#[derive(Default)]
+struct DeauthFlags {
+    flood: bool,
+    pulse: bool,
 }
 
 /// The flood detector.
 pub struct DeauthFloodDetector {
     cfg: DeauthFloodConfig,
-    per_ta: HashMap<MacAddr, TaState>,
+    short: WindowCounter,
+    long: WindowCounter,
+    flags: BoundedTable<rogue_dot11::MacAddr, DeauthFlags>,
     /// Deauth frames observed.
     pub deauths_seen: u64,
 }
@@ -49,10 +72,17 @@ impl DeauthFloodDetector {
     /// Detector with the given tuning.
     pub fn new(cfg: DeauthFloodConfig) -> DeauthFloodDetector {
         DeauthFloodDetector {
+            short: WindowCounter::new(cfg.window, 16, 1024, 4),
+            long: WindowCounter::new(cfg.pulse_window, 20, 1024, 4),
+            flags: BoundedTable::new(FLAG_GROUPS, FLAG_WAYS),
             cfg,
-            per_ta: HashMap::new(),
             deauths_seen: 0,
         }
+    }
+
+    /// Fixed state footprint (sketches plus latch table), in bytes.
+    pub fn state_bytes(&self) -> usize {
+        self.short.bytes() + self.long.bytes() + self.flags.bytes()
     }
 }
 
@@ -73,15 +103,12 @@ impl Detector for DeauthFloodDetector {
             return;
         };
         self.deauths_seen += 1;
-        let st = self.per_ta.entry(e.ta).or_insert(TaState {
-            times: Vec::new(),
-            alerted: false,
-        });
-        st.times.push(e.at);
-        let window_start = SimTime(e.at.as_nanos().saturating_sub(self.cfg.window.as_nanos()));
-        st.times.retain(|&t| t >= window_start);
-        if st.times.len() as u32 >= self.cfg.threshold && !st.alerted {
-            st.alerted = true;
+        let h = hash_mac(&e.ta.0);
+        let short = self.short.observe(e.at, h);
+        let long = self.long.observe(e.at, h);
+        let st = self.flags.entry(e.at, h, e.ta, DeauthFlags::default);
+        if short >= self.cfg.threshold && !st.flood {
+            st.flood = true;
             out.push(RawAlert {
                 at: e.at,
                 detector: "deauth-flood",
@@ -89,9 +116,21 @@ impl Detector for DeauthFloodDetector {
                 kind: AlertKind::DeauthFlood,
                 weight: 0.85,
                 detail: format!(
-                    "{} deauths within {} (last reason {reason})",
-                    st.times.len(),
+                    "{short} deauths within {} (last reason {reason})",
                     self.cfg.window
+                ),
+            });
+        } else if long >= self.cfg.pulse_threshold && !st.flood && !st.pulse {
+            st.pulse = true;
+            out.push(RawAlert {
+                at: e.at,
+                detector: "deauth-flood",
+                subject: e.ta,
+                kind: AlertKind::DeauthFlood,
+                weight: 0.85,
+                detail: format!(
+                    "pulsed flood: {long} deauths within {} (last reason {reason})",
+                    self.cfg.pulse_window
                 ),
             });
         }
@@ -102,6 +141,8 @@ impl Detector for DeauthFloodDetector {
 mod tests {
     use super::*;
     use crate::event::{Dot11Event, SensorId};
+    use rogue_dot11::MacAddr;
+    use rogue_sim::SimTime;
 
     fn deauth(ms: u64, ta: MacAddr) -> SensorEvent {
         SensorEvent::Dot11(Dot11Event {
@@ -138,5 +179,35 @@ mod tests {
             d.on_event(&deauth(i * 1000, MacAddr::local(1)), &mut out);
         }
         assert!(out.is_empty(), "one deauth per second is not a flood");
+    }
+
+    #[test]
+    fn pulsed_bursts_trip_the_long_horizon() {
+        let mut d = DeauthFloodDetector::default();
+        let mut out = Vec::new();
+        // Bursts of 4 frames 100 ms apart, one burst every 4 s: the short
+        // window (5 in 2 s) never fills, the long horizon does.
+        for burst in 0..5u64 {
+            for i in 0..4u64 {
+                d.on_event(&deauth(burst * 4000 + i * 100, MacAddr::local(1)), &mut out);
+            }
+        }
+        assert_eq!(out.len(), 1, "{out:?}");
+        assert!(out[0].detail.starts_with("pulsed flood:"), "{out:?}");
+        assert_eq!(out[0].at, SimTime::from_millis(8300), "twelfth deauth");
+    }
+
+    #[test]
+    fn state_is_fixed_under_forged_sources() {
+        let mut d = DeauthFloodDetector::default();
+        let mut out = Vec::new();
+        let before = d.state_bytes();
+        // 100k distinct forged transmitters, one deauth each, paced so
+        // the sketch buckets stay far below both thresholds.
+        for i in 0..100_000u64 {
+            d.on_event(&deauth(i * 10, MacAddr::local(i + 1)), &mut out);
+        }
+        assert_eq!(d.state_bytes(), before, "sketches must not grow");
+        assert!(out.is_empty(), "one deauth per source is not a flood");
     }
 }

@@ -8,14 +8,26 @@
 //! detector demands *repeated* implausible swings inside a short window
 //! before alerting, and keeps its confidence weight modest — RSSI is
 //! corroborating evidence, not a conviction.
-
-use std::collections::HashMap;
+//!
+//! State lives in a [`BoundedTable`] keyed by (TA, sensor, channel) but
+//! *grouped* by transmitter hash — the same group space the
+//! sequence-control detector shards on, so one shard owns every reading
+//! for a transmitter and sharded evaluation stays bit-identical to
+//! serial. Like every per-source map in the suite, memory is fixed at
+//! construction: a MAC-randomizing attacker recycles slots instead of
+//! growing the detector.
 
 use rogue_dot11::MacAddr;
 use rogue_sim::{SimDuration, SimTime};
 
 use crate::detector::{AlertKind, Detector, RawAlert};
+use crate::detectors::seq::TA_GROUPS;
 use crate::event::{Dot11Kind, SensorEvent};
+use crate::sketch::{hash_mac, BoundedTable, TableView};
+
+/// Readings for distinct (sensor, channel) vantage points share a
+/// transmitter's group; a handful of ways absorbs them.
+const RSSI_WAYS: usize = 8;
 
 /// Plausibility tuning.
 #[derive(Clone, Debug)]
@@ -41,10 +53,69 @@ impl Default for RssiSplitConfig {
     }
 }
 
-struct TaState {
-    last_rssi: f64,
+/// One shard's disjoint view of the RSSI bounded table.
+pub(crate) type RssiView<'a> = TableView<'a, (MacAddr, u16, u8), RssiEntry>;
+
+/// Per-(TA, sensor, channel) reading state (one bounded slot).
+pub(crate) struct RssiEntry {
+    last_rssi: Option<f64>,
+    /// Most recent implausible-swing times, capped at the alert
+    /// threshold — the alert only ever needs the newest `threshold`.
     swings: Vec<SimTime>,
     alerted: bool,
+}
+
+impl RssiEntry {
+    pub(crate) fn new() -> RssiEntry {
+        RssiEntry {
+            last_rssi: None,
+            swings: Vec::new(),
+            alerted: false,
+        }
+    }
+}
+
+/// The shared per-event core, identical on the serial and batch paths.
+#[inline]
+pub(crate) fn rssi_observe(
+    cfg: &RssiSplitConfig,
+    st: &mut RssiEntry,
+    at: SimTime,
+    ta: MacAddr,
+    channel: u8,
+    rssi_dbm: f64,
+    mut emit: impl FnMut(RawAlert),
+) {
+    let Some(last) = st.last_rssi.replace(rssi_dbm) else {
+        return; // first reading from this vantage point: baseline only
+    };
+    let swing = (rssi_dbm - last).abs();
+    if swing < cfg.swing_db {
+        return;
+    }
+    if st.swings.len() >= cfg.threshold as usize {
+        st.swings.remove(0);
+    }
+    st.swings.push(at);
+    let window_start = SimTime(at.as_nanos().saturating_sub(cfg.window.as_nanos()));
+    st.swings.retain(|&t| t >= window_start);
+    if st.swings.len() as u32 >= cfg.threshold && !st.alerted {
+        st.alerted = true;
+        emit(RawAlert {
+            at,
+            detector: "rssi-split",
+            subject: ta,
+            kind: AlertKind::RssiInconsistent,
+            weight: 0.5,
+            detail: format!(
+                "{} swings > {:.0} dB within {} on channel {}",
+                st.swings.len(),
+                cfg.swing_db,
+                cfg.window,
+                channel
+            ),
+        });
+    }
 }
 
 /// The signal-strength inconsistency detector.
@@ -52,7 +123,7 @@ pub struct RssiSplitDetector {
     cfg: RssiSplitConfig,
     // Keyed by (ta, sensor, channel): comparing readings across sensors
     // or channels would just measure geometry, not inconsistency.
-    per_ta: HashMap<(MacAddr, u16, u8), TaState>,
+    table: BoundedTable<(MacAddr, u16, u8), RssiEntry>,
 }
 
 impl RssiSplitDetector {
@@ -60,8 +131,34 @@ impl RssiSplitDetector {
     pub fn new(cfg: RssiSplitConfig) -> RssiSplitDetector {
         RssiSplitDetector {
             cfg,
-            per_ta: HashMap::new(),
+            table: BoundedTable::new(TA_GROUPS, RSSI_WAYS),
         }
+    }
+
+    /// Vantage points currently tracked (bounded by table capacity).
+    pub fn tracked_sources(&self) -> usize {
+        self.table.tracked()
+    }
+
+    /// Fixed per-source state footprint, in bytes.
+    pub fn state_bytes(&self) -> usize {
+        self.table.bytes()
+    }
+
+    /// Entries recycled under source-cardinality pressure.
+    pub fn evictions(&self) -> u64 {
+        self.table.evictions
+    }
+
+    /// Config plus disjoint per-shard table views for batch evaluation.
+    pub(crate) fn batch_parts(&mut self, shards: usize) -> (&RssiSplitConfig, Vec<RssiView<'_>>) {
+        let RssiSplitDetector { cfg, table } = self;
+        (cfg, table.shard_views(shards))
+    }
+
+    /// Fold per-shard tallies back after a batch.
+    pub(crate) fn fold_batch(&mut self, evictions: u64) {
+        self.table.add_evictions(evictions);
     }
 }
 
@@ -81,46 +178,13 @@ impl Detector for RssiSplitDetector {
         if e.kind == Dot11Kind::Ack {
             return; // no transmitter address to attribute the reading to
         }
-        let key = (e.ta, e.sensor.0, e.channel);
-        let st = match self.per_ta.get_mut(&key) {
-            Some(st) => st,
-            None => {
-                self.per_ta.insert(
-                    key,
-                    TaState {
-                        last_rssi: e.rssi_dbm,
-                        swings: Vec::new(),
-                        alerted: false,
-                    },
-                );
-                return;
-            }
-        };
-        let swing = (e.rssi_dbm - st.last_rssi).abs();
-        st.last_rssi = e.rssi_dbm;
-        if swing < self.cfg.swing_db {
-            return;
-        }
-        st.swings.push(e.at);
-        let window_start = SimTime(e.at.as_nanos().saturating_sub(self.cfg.window.as_nanos()));
-        st.swings.retain(|&t| t >= window_start);
-        if st.swings.len() as u32 >= self.cfg.threshold && !st.alerted {
-            st.alerted = true;
-            out.push(RawAlert {
-                at: e.at,
-                detector: "rssi-split",
-                subject: e.ta,
-                kind: AlertKind::RssiInconsistent,
-                weight: 0.5,
-                detail: format!(
-                    "{} swings > {:.0} dB within {} on channel {}",
-                    st.swings.len(),
-                    self.cfg.swing_db,
-                    self.cfg.window,
-                    e.channel
-                ),
-            });
-        }
+        let h = hash_mac(&e.ta.0);
+        let st = self
+            .table
+            .entry(e.at, h, (e.ta, e.sensor.0, e.channel), RssiEntry::new);
+        rssi_observe(&self.cfg, st, e.at, e.ta, e.channel, e.rssi_dbm, |a| {
+            out.push(a)
+        });
     }
 }
 
@@ -181,5 +245,23 @@ mod tests {
         }
         // The recovery swing counts too, but 2 < threshold 4.
         assert!(out.is_empty(), "{out:?}");
+    }
+
+    #[test]
+    fn state_stays_bounded_under_randomized_sources() {
+        let mut d = RssiSplitDetector::default();
+        let mut out = Vec::new();
+        let before = d.state_bytes();
+        for i in 0..200_000u64 {
+            let mut e = data(i / 100, -50.0);
+            if let SensorEvent::Dot11(ev) = &mut e {
+                ev.ta = MacAddr::local(i + 10);
+            }
+            d.on_event(&e, &mut out);
+        }
+        assert!(d.tracked_sources() <= TA_GROUPS * RSSI_WAYS);
+        assert_eq!(d.state_bytes(), before, "slot array must not grow");
+        assert!(d.evictions() > 0, "pressure must recycle slots");
+        assert!(out.is_empty());
     }
 }

@@ -1,48 +1,188 @@
 //! Sequence-control anomaly detection (Wright's MAC-spoof detector),
 //! generalized to the streaming [`Detector`] interface.
 //!
-//! The counter-tracking state machine itself lives in
-//! [`rogue_detect::seqmon::SeqMonitor`]; this adapter is how every
-//! caller now reaches it — one event at a time from the unified sensor
-//! stream, instead of post-hoc over a finished capture buffer.
+//! This is the same counter-tracking state machine as
+//! `rogue_detect::seqmon::SeqMonitor`, re-hosted on the pipeline's
+//! bounded per-source state substrate: each transmitter's counter state
+//! lives in a [`BoundedTable`] slot instead of an unbounded `HashMap`
+//! entry, so an attacker cycling through randomized source addresses
+//! recycles slots instead of growing the detector. The per-event logic
+//! is shared verbatim between the serial per-frame path and the sharded
+//! batch path ([`seq_observe`]), which is what makes the two
+//! bit-identical.
 //!
 //! One refinement over the raw monitor: channel divergence is only
 //! evidence against an *AP* transmitter (a BSS cannot move channels
 //! without its stations noticing), while a client station hopping
-//! channels is just roaming. The adapter therefore suppresses
-//! divergence alerts for transmitters never seen acting as a BSSID.
+//! channels is just roaming. Divergence alerts are therefore suppressed
+//! for transmitters never seen acting as a BSSID.
 
-use std::collections::HashSet;
-
-use rogue_detect::seqmon::{SeqMonConfig, SeqMonitor};
-use rogue_detect::AlarmKind as SeqAlarmKind;
+use rogue_detect::seqmon::SeqMonConfig;
 use rogue_dot11::MacAddr;
+use rogue_sim::SimTime;
 
 use crate::detector::{AlertKind, Detector, RawAlert};
 use crate::event::{Dot11Kind, SensorEvent};
+use crate::sketch::{hash_mac, BoundedTable, TableView};
 
-/// Streaming sequence-control monitor.
+/// Group count of the per-transmitter tables — the sharding unit shared
+/// with the RSSI detector (batch rows are routed to shards by
+/// transmitter hash, so both tables must agree on the group space).
+pub(crate) const TA_GROUPS: usize = 4096;
+const TA_WAYS: usize = 4;
+
+/// Per-transmitter counter state (one bounded slot).
+pub(crate) struct SeqEntry {
+    last_seq: Option<u16>,
+    last_channel: Option<u8>,
+    /// Most recent anomaly times, capped at the alarm threshold — the
+    /// alarm only ever needs the newest `threshold` sightings.
+    anomaly_times: Vec<SimTime>,
+    alarmed_seq: bool,
+    alarmed_chan: bool,
+    /// Seen with `ta == bssid` — an AP-side radio.
+    is_ap: bool,
+}
+
+impl SeqEntry {
+    pub(crate) fn new() -> SeqEntry {
+        SeqEntry {
+            last_seq: None,
+            last_channel: None,
+            anomaly_times: Vec::new(),
+            alarmed_seq: false,
+            alarmed_chan: false,
+            is_ap: false,
+        }
+    }
+}
+
+/// The shared per-event state machine: `SeqMonitor::observe_frame` plus
+/// the AP-only divergence gate, over one bounded slot.
+#[inline]
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn seq_observe(
+    cfg: &SeqMonConfig,
+    st: &mut SeqEntry,
+    at: SimTime,
+    ta: MacAddr,
+    seq: u16,
+    channel: u8,
+    retry: bool,
+    is_ap_now: bool,
+    mut emit: impl FnMut(RawAlert),
+) {
+    st.is_ap |= is_ap_now;
+
+    // Channel divergence is immediate, unambiguous evidence — against
+    // an AP. The alarmed flag latches either way (matching the raw
+    // monitor), so a roaming client later seen as an AP does not
+    // retroactively alarm.
+    if let Some(prev) = st.last_channel {
+        if prev != channel && !st.alarmed_chan {
+            st.alarmed_chan = true;
+            if st.is_ap {
+                emit(RawAlert {
+                    at,
+                    detector: "seq-control",
+                    subject: ta,
+                    kind: AlertKind::ChannelDivergence,
+                    weight: 0.9,
+                    detail: format!("heard on channel {prev} and {channel}"),
+                });
+            }
+        }
+    }
+    st.last_channel = Some(channel);
+
+    if let Some(last) = st.last_seq {
+        // Wright's spoof signature: the merged stream of two radios
+        // behind one address either repeats a counter value outright (a
+        // non-retry exact duplicate — ARQ retransmissions repeat the
+        // number but set the retry flag) or jumps backward by more than
+        // capture reordering can explain. All arithmetic is modulo
+        // 4096, so the 0x0FFF -> 0x000 wrap shows as a small forward
+        // delta and stays clean.
+        let delta = seq.wrapping_sub(last) & 0x0FFF;
+        let is_anomaly = (delta == 0 && !retry)
+            || (delta > cfg.max_normal_gap && delta < 4096 - cfg.reorder_tolerance);
+        if is_anomaly {
+            if st.anomaly_times.len() >= cfg.alarm_threshold as usize {
+                st.anomaly_times.remove(0);
+            }
+            st.anomaly_times.push(at);
+            let window_start = SimTime(at.as_nanos().saturating_sub(cfg.window.as_nanos()));
+            st.anomaly_times.retain(|&t| t >= window_start);
+            if st.anomaly_times.len() as u32 >= cfg.alarm_threshold && !st.alarmed_seq {
+                st.alarmed_seq = true;
+                emit(RawAlert {
+                    at,
+                    detector: "seq-control",
+                    subject: ta,
+                    kind: AlertKind::SequenceAnomaly,
+                    weight: 0.7,
+                    detail: format!(
+                        "{} interleaved-counter jumps within {}",
+                        st.anomaly_times.len(),
+                        cfg.window
+                    ),
+                });
+            }
+        }
+    }
+    st.last_seq = Some(seq);
+}
+
+/// Streaming sequence-control monitor over bounded per-source state.
 pub struct SeqControlDetector {
-    monitor: SeqMonitor,
-    emitted: usize,
-    /// Transmitters seen with `ta == bssid` — AP-side radios, the only
-    /// subjects for which channel divergence is incriminating.
-    ap_tas: HashSet<MacAddr>,
+    cfg: SeqMonConfig,
+    table: BoundedTable<MacAddr, SeqEntry>,
+    observed: u64,
 }
 
 impl SeqControlDetector {
     /// Detector with the given tuning.
     pub fn new(cfg: SeqMonConfig) -> SeqControlDetector {
         SeqControlDetector {
-            monitor: SeqMonitor::new(cfg),
-            emitted: 0,
-            ap_tas: HashSet::new(),
+            cfg,
+            table: BoundedTable::new(TA_GROUPS, TA_WAYS),
+            observed: 0,
         }
     }
 
     /// Frames observed so far.
     pub fn observed(&self) -> u64 {
-        self.monitor.observed
+        self.observed
+    }
+
+    /// Transmitters currently tracked (bounded by the table capacity).
+    pub fn tracked_sources(&self) -> usize {
+        self.table.tracked()
+    }
+
+    /// Fixed per-source state footprint, in bytes.
+    pub fn state_bytes(&self) -> usize {
+        self.table.bytes()
+    }
+
+    /// Entries recycled under source-cardinality pressure.
+    pub fn evictions(&self) -> u64 {
+        self.table.evictions
+    }
+
+    /// Config plus disjoint per-shard table views for batch evaluation.
+    pub(crate) fn batch_parts(
+        &mut self,
+        shards: usize,
+    ) -> (&SeqMonConfig, Vec<TableView<'_, MacAddr, SeqEntry>>) {
+        let SeqControlDetector { cfg, table, .. } = self;
+        (cfg, table.shard_views(shards))
+    }
+
+    /// Fold per-shard tallies back after a batch.
+    pub(crate) fn fold_batch(&mut self, observed: u64, evictions: u64) {
+        self.observed += observed;
+        self.table.add_evictions(evictions);
     }
 }
 
@@ -62,32 +202,20 @@ impl Detector for SeqControlDetector {
         if e.kind == Dot11Kind::Ack {
             return; // no sequence counter, no transmitter address
         }
-        if e.ta == e.bssid {
-            self.ap_tas.insert(e.ta);
-        }
-        self.monitor
-            .observe_frame(e.at, e.ta, e.seq, e.channel, e.retry);
-        // Surface any alarms the observation just raised.
-        for alarm in &self.monitor.alarms[self.emitted..] {
-            let (kind, weight) = match alarm.kind {
-                SeqAlarmKind::SequenceAnomaly => (AlertKind::SequenceAnomaly, 0.7),
-                SeqAlarmKind::ChannelDivergence if self.ap_tas.contains(&alarm.subject) => {
-                    (AlertKind::ChannelDivergence, 0.9)
-                }
-                // A client roaming across channels is not divergence
-                // evidence; SeqMonitor raises nothing else.
-                _ => continue,
-            };
-            out.push(RawAlert {
-                at: alarm.at,
-                detector: "seq-control",
-                subject: alarm.subject,
-                kind,
-                weight,
-                detail: alarm.detail.clone(),
-            });
-        }
-        self.emitted = self.monitor.alarms.len();
+        self.observed += 1;
+        let h = hash_mac(&e.ta.0);
+        let st = self.table.entry(e.at, h, e.ta, SeqEntry::new);
+        seq_observe(
+            &self.cfg,
+            st,
+            e.at,
+            e.ta,
+            e.seq,
+            e.channel,
+            e.retry,
+            e.ta == e.bssid,
+            |a| out.push(a),
+        );
     }
 }
 
@@ -180,5 +308,23 @@ mod tests {
         }
         assert!(out.is_empty(), "{out:?}");
         assert_eq!(d.observed(), 300);
+    }
+
+    #[test]
+    fn state_stays_bounded_under_randomized_sources() {
+        let mut d = SeqControlDetector::default();
+        let mut out = Vec::new();
+        let cap = TA_GROUPS * TA_WAYS;
+        for i in 0..200_000u64 {
+            let mut e = frame(i / 100, (i % 4096) as u16, 1);
+            if let SensorEvent::Dot11(ev) = &mut e {
+                ev.ta = MacAddr::local(i + 10);
+                ev.bssid = ev.ta;
+            }
+            d.on_event(&e, &mut out);
+        }
+        assert!(d.tracked_sources() <= cap);
+        assert!(d.evictions() > 0, "pressure must recycle slots");
+        assert!(out.is_empty(), "single-frame sources are clean");
     }
 }

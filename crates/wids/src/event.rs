@@ -29,6 +29,10 @@ pub enum Dot11Kind {
         claimed_channel: u8,
         /// Capability field (privacy bit etc.).
         capability: u16,
+        /// True when the advertisement was a directed probe response
+        /// rather than a broadcast beacon — cloaked rogues advertise
+        /// *only* this way, which the probe-audit detector keys on.
+        probe_resp: bool,
     },
     /// Deauthentication.
     Deauth {

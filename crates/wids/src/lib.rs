@@ -6,9 +6,9 @@
 //! audits into an always-on pipeline over the live simulation:
 //!
 //! ```text
-//!  radio sniffers ──> RadioSensor ─┐
-//!                                  ├─> SensorRing ─> Detector suite ─> Correlator ─> Incidents
-//!  switch span ────> WiredSensor ──┘    (bounded)     (5 built-in)     (dedup+fuse)    (scored)
+//!  radio sniffers ──> RadioSensor ─┐  per-sensor shard rings
+//!                                  ├─> time-sorted merge ─> Detector engine ─> Correlator ─> Incidents
+//!  switch span ────> WiredSensor ──┘       (bounded)       (serial|sharded)    (dedup+fuse)    (scored)
 //! ```
 //!
 //! * [`event`] — the unified [`event::SensorEvent`] stream and the
@@ -20,13 +20,20 @@
 //! * [`detector`] — the pluggable [`detector::Detector`] trait and
 //!   [`detector::RawAlert`] evidence type.
 //! * [`detectors`] — the built-in suite: sequence-control anomalies,
-//!   beacon/BSSID auditing, deauth floods, RSSI consistency, ARP spoof.
+//!   beacon/BSSID auditing (incl. churn), deauth floods (burst and
+//!   pulsed), RSSI consistency, ARP spoof, probe-response auditing
+//!   (cloaked twins, karma responders).
+//! * [`sketch`] — the bounded state substrates (windowed count-min
+//!   sketches, set-associative tables) keeping detector memory fixed
+//!   under address-randomizing attackers.
 //! * [`correlate`] — dedup and noisy-or fusion of raw alerts into
 //!   scored [`correlate::Incident`]s.
 //! * [`eval`] — precision / recall / latency scoring against scripted
 //!   ground truth, for the E10 harness.
 //! * [`pipeline`] — [`pipeline::WidsPipeline`] wiring it all together,
-//!   stepped in lockstep with the simulation.
+//!   stepped in lockstep with the simulation. [`pipeline::EngineMode`]
+//!   selects per-frame serial dispatch or the sharded batched engine;
+//!   the two are bit-identical by construction.
 
 pub mod correlate;
 pub mod detector;
@@ -35,13 +42,17 @@ pub mod eval;
 pub mod event;
 pub mod pipeline;
 pub mod sensors;
+pub mod sketch;
+
+mod block;
 
 pub use correlate::{Correlator, CorrelatorConfig, Incident, IncidentCategory};
 pub use detector::{AlertKind, Detector, RawAlert};
 pub use detectors::{
-    ArpSpoofDetector, BeaconDetector, DeauthFloodDetector, RssiSplitDetector, SeqControlDetector,
+    ArpSpoofDetector, BeaconDetector, DeauthFloodDetector, ProbeAuditDetector, RssiSplitDetector,
+    SeqControlDetector,
 };
 pub use eval::{evaluate, EvalOutcome, TruthLabel};
 pub use event::{ArpEvent, Dot11Event, Dot11Kind, SensorEvent, SensorId, SensorRing};
-pub use pipeline::{WidsConfig, WidsPipeline};
+pub use pipeline::{EngineMode, WidsConfig, WidsPipeline};
 pub use sensors::{RadioSensor, WiredSensor};

@@ -53,10 +53,17 @@ impl RadioSensor {
 
     fn digest(&self, c: &Capture) -> Dot11Event {
         let kind = match &c.frame.body {
-            FrameBody::Beacon(info) | FrameBody::ProbeResp(info) => Dot11Kind::Beacon {
+            FrameBody::Beacon(info) => Dot11Kind::Beacon {
                 ssid: info.ssid.clone(),
                 claimed_channel: info.channel,
                 capability: info.capability,
+                probe_resp: false,
+            },
+            FrameBody::ProbeResp(info) => Dot11Kind::Beacon {
+                ssid: info.ssid.clone(),
+                claimed_channel: info.channel,
+                capability: info.capability,
+                probe_resp: true,
             },
             FrameBody::Deauth { reason } => Dot11Kind::Deauth { reason: *reason },
             FrameBody::Data { .. } => Dot11Kind::Data {

@@ -116,22 +116,33 @@ fn downscale(mut sc: rogue_scenario::Scenario) -> rogue_scenario::Scenario {
     if let Some(e10) = &mut sc.e10 {
         e10.scenarios.truncate(2);
     }
+    if let Some(ev) = &mut sc.e10_evasion {
+        ev.variants.truncate(2);
+    }
     sc
 }
 
-/// Run every `.toml` in `dir`, downscaled; fail if any file fails.
-fn smoke(dir: &str, overrides: &[String]) -> bool {
-    let mut paths: Vec<String> = match std::fs::read_dir(dir) {
-        Ok(rd) => rd
-            .filter_map(|e| e.ok())
-            .map(|e| e.path().display().to_string())
-            .filter(|p| p.ends_with(".toml"))
-            .collect(),
-        Err(e) => {
-            eprintln!("{dir}: {e}");
-            return false;
+/// Collect every `.toml` under `dir`, recursively (the tree groups
+/// related scenarios in subdirectories, e.g. `scenarios/evasion/`).
+fn collect_tomls(dir: &str, paths: &mut Vec<String>) -> std::io::Result<()> {
+    for entry in std::fs::read_dir(dir)? {
+        let path = entry?.path();
+        if path.is_dir() {
+            collect_tomls(&path.display().to_string(), paths)?;
+        } else if path.display().to_string().ends_with(".toml") {
+            paths.push(path.display().to_string());
         }
-    };
+    }
+    Ok(())
+}
+
+/// Run every `.toml` under `dir`, downscaled; fail if any file fails.
+fn smoke(dir: &str, overrides: &[String]) -> bool {
+    let mut paths = Vec::new();
+    if let Err(e) = collect_tomls(dir, &mut paths) {
+        eprintln!("{dir}: {e}");
+        return false;
+    }
     paths.sort();
     if paths.is_empty() {
         eprintln!("{dir}: no .toml files found");

@@ -5,7 +5,7 @@
 //! plus index-ordered result collection make the thread count
 //! unobservable in every table.
 
-use rogue_bench::{render_report, report_builders};
+use rogue_bench::{render_report, report_builders, report_e10_evasion};
 
 #[test]
 fn every_report_is_byte_identical_across_thread_counts() {
@@ -30,6 +30,24 @@ fn every_report_is_byte_identical_across_thread_counts() {
                 "report diverged between 1 and {threads} threads"
             );
         }
+    }
+}
+
+#[test]
+fn evasion_report_is_byte_identical_across_thread_counts() {
+    // E10-evasion lives outside `report_builders` (the ten-report
+    // harness contract is frozen) but is held to the same standard: its
+    // replication fan-out and the sharded WIDS engine underneath must
+    // render identical bytes whatever the pool size.
+    let reps = 2;
+    let serial = rayon::with_num_threads(1, || render_report(&report_e10_evasion(reps)));
+    for threads in [2, 4] {
+        let parallel =
+            rayon::with_num_threads(threads, || render_report(&report_e10_evasion(reps)));
+        assert_eq!(
+            serial, parallel,
+            "evasion report diverged between 1 and {threads} threads"
+        );
     }
 }
 
