@@ -12,8 +12,14 @@
 //! the thread count go to **stderr**, so `harness 10 > harness_output.txt`
 //! captures a byte-stable record. Parallelism is controlled by
 //! `RAYON_NUM_THREADS`.
+//!
+//! The ten reports build concurrently on the rayon pool — each is a pure
+//! function of `reps`, and the pool collects results in input order — then
+//! print serially, so stdout is byte-identical to a one-at-a-time run.
 
 use std::time::Instant;
+
+use rayon::prelude::*;
 
 fn main() {
     let reps: usize = std::env::args()
@@ -24,11 +30,17 @@ fn main() {
     println!("replications per cell: {reps}\n");
     eprintln!("threads: {}", rayon::current_num_threads());
     let t0 = Instant::now();
-    for build in rogue_bench::report_builders() {
-        let r0 = Instant::now();
-        let report = build(reps);
-        print!("{}", rogue_bench::render_report(&report));
-        eprintln!("[{}] {:.2} s", report.id, r0.elapsed().as_secs_f64());
+    let reports: Vec<_> = rogue_bench::report_builders()
+        .into_par_iter()
+        .map(|build| {
+            let r0 = Instant::now();
+            let report = build(reps);
+            (report, r0.elapsed().as_secs_f64())
+        })
+        .collect();
+    for (report, secs) in &reports {
+        print!("{}", rogue_bench::render_report(report));
+        eprintln!("[{}] {:.2} s", report.id, secs);
     }
     eprintln!(
         "total wall time: {:.1} s on {} thread(s)",

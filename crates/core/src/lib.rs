@@ -37,4 +37,4 @@ pub mod scenario;
 pub mod world;
 
 pub use policy::ClientPolicy;
-pub use world::{NodeId, World};
+pub use world::{with_default_shards, NodeId, World};

@@ -23,6 +23,7 @@
 use std::collections::HashMap;
 
 use bytes::Bytes;
+use rayon::prelude::*;
 use rogue_attack::FrameInjector;
 use rogue_detect::wired::WiredMonitor;
 use rogue_dot11::ap::ApMac;
@@ -32,10 +33,10 @@ use rogue_dot11::sta::{StaMac, StaState};
 use rogue_dot11::{ApConfig, MacAddr, StaConfig};
 use rogue_netstack::ethernet::EthFrame;
 use rogue_netstack::{Host, IfIndex, Ipv4Addr};
-use rogue_phy::{Medium, MediumParams, Pos, RadioId, TxHandle};
+use rogue_phy::{Medium, MediumParams, Pos, RadioId, RegionMap, TxHandle, TxPlan};
 use rogue_services::apps::{App, AppEvent};
 use rogue_sim::trace::Metrics;
-use rogue_sim::{EventQueue, Seed, SimDuration, SimRng, SimTime};
+use rogue_sim::{Seed, ShardedQueue, SimDuration, SimRng, SimTime};
 use rogue_vpn::{VpnClient, VpnServer};
 
 /// Identifies a node in the world.
@@ -150,7 +151,25 @@ struct Switch {
 pub struct World {
     /// The shared radio medium.
     pub medium: Medium,
-    queue: EventQueue<Event>,
+    queue: ShardedQueue<Event>,
+    /// Spatial shard ownership, built lazily from the radio extent on
+    /// the first sharded `run_until`. `None` while single-sharded or
+    /// before the first run.
+    region_map: Option<RegionMap>,
+    /// Lockstep window width for the sharded loop. Purely a batching
+    /// knob: correctness is guarded by the medium's channel-version
+    /// conflict detection, so any width yields bit-identical output.
+    window: SimDuration,
+    /// Shard whose event is currently being dispatched (0 while idle or
+    /// single-sharded); a schedule targeting a different shard is a
+    /// boundary crossing.
+    current_shard: usize,
+    sim_windows: u64,
+    sim_boundary_crossings: u64,
+    sim_plans_parallel: u64,
+    sim_plans_committed: u64,
+    sim_plans_stale: u64,
+    sim_shard_occupancy_max: u64,
     nodes: Vec<Node>,
     switches: Vec<Switch>,
     radio_owner: Vec<(usize, usize)>, // RadioId.0 -> (node, radio idx)
@@ -164,13 +183,46 @@ pub struct World {
     pub metrics: Metrics,
 }
 
+/// Process-wide default shard count for new worlds; see
+/// [`with_default_shards`].
+static DEFAULT_SHARDS: std::sync::atomic::AtomicUsize = std::sync::atomic::AtomicUsize::new(1);
+
+/// Run `f` with every [`World::new`] in scope starting at `n` event-loop
+/// shards, restoring the previous default afterwards (panic-safe).
+/// Sharding is bit-identical by construction, so this knob exists for
+/// exactly one purpose: letting the determinism suite re-render whole
+/// experiment reports — whose drivers build worlds internally — under
+/// shard counts the drivers never ask for. Concurrent scopes are
+/// serialized by a global lock, like [`rayon::with_num_threads`].
+pub fn with_default_shards<R>(n: usize, f: impl FnOnce() -> R) -> R {
+    use std::sync::atomic::Ordering;
+    static SCOPE: std::sync::Mutex<()> = std::sync::Mutex::new(());
+    let _scope = SCOPE.lock().unwrap_or_else(|p| p.into_inner());
+    let previous = DEFAULT_SHARDS.swap(n.max(1), Ordering::Relaxed);
+    let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(f));
+    DEFAULT_SHARDS.store(previous, Ordering::Relaxed);
+    match outcome {
+        Ok(value) => value,
+        Err(payload) => std::panic::resume_unwind(payload),
+    }
+}
+
 impl World {
     /// New empty world.
     pub fn new(seed: Seed, params: MediumParams) -> World {
         let mut rng = SimRng::new(seed);
         World {
             medium: Medium::new(params, Seed(rng.next_u64())),
-            queue: EventQueue::new(),
+            queue: ShardedQueue::new(DEFAULT_SHARDS.load(std::sync::atomic::Ordering::Relaxed)),
+            region_map: None,
+            window: SimDuration::from_millis(1),
+            current_shard: 0,
+            sim_windows: 0,
+            sim_boundary_crossings: 0,
+            sim_plans_parallel: 0,
+            sim_plans_committed: 0,
+            sim_plans_stale: 0,
+            sim_shard_occupancy_max: 0,
             nodes: Vec::new(),
             switches: Vec::new(),
             radio_owner: Vec::new(),
@@ -269,15 +321,36 @@ impl World {
         ip: Ipv4Addr,
         prefix_len: u8,
     ) -> (usize, IfIndex) {
+        let now = self.queue.now();
+        self.add_sta_starting_at(n, pos, tx_power_dbm, cfg, ip, prefix_len, now)
+    }
+
+    /// Like [`World::add_sta`], but the station's scan clock starts at
+    /// `start_at` — a device powered on mid-run. City-scale worlds
+    /// stagger joins this way; stations all created at time zero would
+    /// finish their scan sweeps simultaneously and pile every
+    /// association exchange onto one instant, a synchronized storm no
+    /// real deployment produces.
+    #[allow(clippy::too_many_arguments)]
+    pub fn add_sta_starting_at(
+        &mut self,
+        n: NodeId,
+        pos: Pos,
+        tx_power_dbm: f64,
+        cfg: StaConfig,
+        ip: Ipv4Addr,
+        prefix_len: u8,
+        start_at: SimTime,
+    ) -> (usize, IfIndex) {
         let channel = cfg.channels[0];
         let radio = self.register_radio(n.0, pos, channel, tx_power_dbm);
         let iface = self.nodes[n.0].host.add_iface(cfg.mac, ip, prefix_len);
-        let mac = StaMac::new(cfg, self.rng.fork(radio.0 as u64), self.queue.now());
+        let mac = StaMac::new(cfg, self.rng.fork(radio.0 as u64), start_at);
         self.nodes[n.0].radios.push(RadioBinding {
             radio,
             role: RadioRole::Sta { mac, iface },
         });
-        self.schedule_poll(n.0, self.queue.now());
+        self.schedule_poll(n.0, start_at.max(self.queue.now()));
         (self.nodes[n.0].radios.len() - 1, iface)
     }
 
@@ -548,47 +621,118 @@ impl World {
     // Event loop
     // ------------------------------------------------------------------
 
-    /// Run until simulated time `deadline`.
-    pub fn run_until(&mut self, deadline: SimTime) {
-        while let Some((now, ev)) = self.queue.pop_until(deadline) {
-            match ev {
-                Event::TxComplete { tx } => {
-                    let deliveries = self.medium.complete_tx(now, tx);
-                    let mut touched = Vec::new();
-                    for d in deliveries {
-                        let (node, radio) = self.radio_owner[d.to.0 as usize];
-                        self.receive_on_radio(now, node, radio, &d.bytes, d.rssi_dbm, d.channel);
-                        if !touched.contains(&node) {
-                            touched.push(node);
-                        }
-                    }
-                    for node in touched {
-                        self.poll_node(now, node);
-                    }
-                }
-                Event::NodePoll { node } => {
-                    if self.nodes[node].scheduled_poll <= now {
-                        self.nodes[node].scheduled_poll = SimTime::FOREVER;
-                    }
-                    self.poll_node(now, node);
-                }
-                Event::WireDeliver { node, iface, bytes } => {
-                    self.nodes[node].host.on_link_rx(now, iface, &bytes);
-                    self.poll_node(now, node);
-                }
-                Event::BridgeDeliver { node, radio, bytes } => {
-                    self.bridge_wired_rx(now, node, radio, &bytes);
-                    self.poll_node(now, node);
-                }
-                Event::TapDeliver { node, bytes } => {
-                    if let Some(mon) = &mut self.nodes[node].wired_monitor {
-                        mon.inspect(now, &bytes);
-                    }
-                    if let Some(tap) = &mut self.nodes[node].wire_tap {
-                        tap.frames.push((now, bytes));
-                    }
+    /// Partition the event loop into `n` spatial shards (DESIGN.md §15).
+    ///
+    /// Must be called before the first `run_until`. Events already
+    /// queued during setup migrate into the new layout with their
+    /// sequence numbers preserved, so any shard count yields
+    /// **bit-identical** output to `n == 1` — events always dispatch in
+    /// global `(time, seq)` order; sharding only batches the read-only
+    /// SINR planning of each lockstep window onto the rayon pool.
+    pub fn set_shards(&mut self, n: usize) {
+        assert!(
+            self.queue.dispatched() == 0,
+            "set_shards must run before the first run_until"
+        );
+        let old = std::mem::replace(&mut self.queue, ShardedQueue::new(n));
+        self.region_map = None;
+        self.ensure_region_map();
+        for (at, seq, ev) in old.into_entries() {
+            let shard = self.shard_for(&ev);
+            self.queue.schedule_at_seq(shard, at, seq, ev);
+        }
+    }
+
+    /// Number of event-loop shards (1 = classic serial loop).
+    pub fn shards(&self) -> usize {
+        self.queue.num_shards()
+    }
+
+    /// Width of the conservative lockstep window used by the sharded
+    /// loop. A batching knob only — any width is bit-identical.
+    pub fn set_shard_window(&mut self, window: SimDuration) {
+        self.window = window;
+    }
+
+    /// Total events dispatched through the loop so far (the events/s
+    /// numerator in the scaling benches).
+    pub fn events_dispatched(&self) -> u64 {
+        self.queue.dispatched()
+    }
+
+    /// Region ownership of an event: the stripe of the position whose
+    /// state its dispatch touches first. Stable for the whole run once
+    /// the region map exists; shard 0 before that (setup-time events).
+    fn shard_for(&self, ev: &Event) -> usize {
+        let Some(map) = &self.region_map else {
+            return 0;
+        };
+        match ev {
+            Event::TxComplete { tx } => map.region_of(self.medium.tx_src_pos(*tx)),
+            Event::NodePoll { node }
+            | Event::WireDeliver { node, .. }
+            | Event::BridgeDeliver { node, .. }
+            | Event::TapDeliver { node, .. } => self.nodes[*node]
+                .radios
+                .first()
+                .map(|rb| map.region_of(self.medium.pos(rb.radio)))
+                .unwrap_or(0),
+        }
+    }
+
+    /// Schedule `ev`, routing it to its owning shard and counting
+    /// boundary crossings: schedules landing on a different shard than
+    /// the one currently dispatching, plus completions whose audible
+    /// disc spills across a stripe edge.
+    fn schedule_event(&mut self, at: SimTime, ev: Event) {
+        let shard = self.shard_for(&ev);
+        if self.queue.num_shards() > 1 {
+            if shard != self.current_shard {
+                self.sim_boundary_crossings += 1;
+            } else if let (Event::TxComplete { tx }, Some(map)) = (&ev, &self.region_map) {
+                if map.disc_crosses_region(
+                    self.medium.tx_src_pos(*tx),
+                    self.medium.tx_audible_range_m(*tx),
+                ) {
+                    self.sim_boundary_crossings += 1;
                 }
             }
+        }
+        self.queue.schedule(shard, at, ev);
+    }
+
+    /// Build the stripe partition from the current radio extent, once,
+    /// on the first sharded run.
+    fn ensure_region_map(&mut self) {
+        if self.region_map.is_some()
+            || self.queue.num_shards() == 1
+            || self.medium.radio_count() == 0
+        {
+            return;
+        }
+        let (mut min_x, mut max_x) = (f64::INFINITY, f64::NEG_INFINITY);
+        for i in 0..self.medium.radio_count() {
+            let x = self.medium.pos(RadioId(i as u32)).x;
+            min_x = min_x.min(x);
+            max_x = max_x.max(x);
+        }
+        if !min_x.is_finite() || !max_x.is_finite() {
+            (min_x, max_x) = (0.0, 0.0);
+        }
+        self.region_map = Some(RegionMap::new(self.queue.num_shards(), min_x, max_x));
+    }
+
+    /// Run until simulated time `deadline`.
+    pub fn run_until(&mut self, deadline: SimTime) {
+        let mut plans: HashMap<TxHandle, TxPlan> = HashMap::new();
+        if self.queue.num_shards() == 1 {
+            // Classic serial loop: pop-dispatch one event at a time.
+            while let Some((now, ev, _)) = self.queue.pop_until(deadline) {
+                self.dispatch_event(now, ev, &mut plans);
+            }
+        } else {
+            self.ensure_region_map();
+            self.run_windows(deadline, &mut plans);
         }
         // Mirror the medium's counters into the metrics sink so reports
         // and tests read them the same way as the `mac.*` family.
@@ -624,6 +768,159 @@ impl World {
         self.metrics.set("vpn.records_sealed", sealed);
         self.metrics.set("vpn.records_opened", opened);
         self.metrics.set("vpn.bytes_copied", copied);
+        // Sharded-loop observability (all zero in the serial loop).
+        // These live beside `phy.*` in the sink but are never rendered
+        // into a golden table: they vary with the shard count while
+        // every table must not.
+        self.metrics.set("sim.windows", self.sim_windows);
+        self.metrics
+            .set("sim.boundary_crossings", self.sim_boundary_crossings);
+        self.metrics
+            .set("sim.plans_parallel", self.sim_plans_parallel);
+        self.metrics
+            .set("sim.plans_committed", self.sim_plans_committed);
+        self.metrics.set("sim.plans_stale", self.sim_plans_stale);
+        self.metrics
+            .set("sim.shard_occupancy_max", self.sim_shard_occupancy_max);
+    }
+
+    /// The sharded loop: conservative lockstep windows. Each window
+    /// `[head, head + window]` first *plans* every pending `TxComplete`
+    /// inside it in parallel on the rayon pool (`plan_complete` is pure,
+    /// `&Medium`), then replays all events serially in global
+    /// `(time, seq)` order, committing plans that survived conflict
+    /// checks and transparently replanning the rest. See DESIGN.md §15
+    /// for the bit-identity argument.
+    fn run_windows(&mut self, deadline: SimTime, plans: &mut HashMap<TxHandle, TxPlan>) {
+        // Scratch buffers reused across every burst in the run.
+        let mut burst: Vec<(Event, usize)> = Vec::new();
+        let mut todo: Vec<TxHandle> = Vec::new();
+        // Speculative planning is a bet: compute completions ahead of
+        // the replay and hope the channel-version guard lets them
+        // commit. On a 1-thread pool the bet can never pay — the plans
+        // are computed serially in the same thread that would have run
+        // `complete_tx` anyway, and every stale one is paid for twice.
+        // Plan only when the pool can genuinely overlap the work.
+        let plan_on_pool = rayon::current_num_threads() > 1;
+        while let Some(head) = self.queue.peek_time() {
+            if head > deadline {
+                break;
+            }
+            let window_end = (head + self.window).min(deadline);
+            self.sim_windows += 1;
+            let occupancy = (0..self.queue.num_shards())
+                .map(|s| self.queue.shard_len(s))
+                .max()
+                .unwrap_or(0) as u64;
+            self.sim_shard_occupancy_max = self.sim_shard_occupancy_max.max(occupancy);
+
+            // Replay the window burst by burst. A burst is every event
+            // pending at one instant `t` — the unit at which parallel
+            // planning actually pays: synchronized completions (beacon
+            // storms, lockstep traffic) land at the same instant, and a
+            // burst cannot invalidate its own plans except through a
+            // same-instant `begin_tx`, which the channel-version guard
+            // catches at commit. Planning any further ahead is wasted
+            // work whenever dispatch triggers responses: each response's
+            // `begin_tx` is a new interferer for every later in-flight
+            // completion, staling the rest of the window wholesale.
+            while let Some(t) = self.queue.peek_time() {
+                if t > window_end {
+                    break;
+                }
+                // Drain the instant. Dispatches may schedule *new*
+                // events at `t` (immediate polls); those carry higher
+                // seqs, so the outer loop picks them up as the next
+                // burst — still in global (time, seq) order.
+                while self.queue.peek_time() == Some(t) {
+                    let (_, ev, shard) = self.queue.pop().expect("peeked head vanished");
+                    burst.push((ev, shard));
+                }
+
+                // Plan phase: compute this burst's completions on the
+                // pool. A lone completion is planned serially at
+                // dispatch — no pool round-trip for nothing.
+                todo.extend(burst.iter().filter_map(|(ev, _)| match ev {
+                    Event::TxComplete { tx } => Some(*tx),
+                    _ => None,
+                }));
+                if plan_on_pool && todo.len() > 1 {
+                    let medium = &self.medium;
+                    let computed: Vec<TxPlan> = todo
+                        .par_iter()
+                        .map(|&tx| medium.plan_complete(t, tx))
+                        .collect();
+                    self.sim_plans_parallel += computed.len() as u64;
+                    plans.extend(computed.into_iter().map(|p| (p.handle(), p)));
+                }
+
+                todo.clear();
+
+                // Commit phase: strict global (time, seq) replay.
+                for (ev, shard) in burst.drain(..) {
+                    self.current_shard = shard;
+                    self.dispatch_event(t, ev, plans);
+                }
+                self.current_shard = 0;
+                debug_assert!(plans.is_empty(), "burst left unconsumed plans");
+                plans.clear();
+            }
+        }
+    }
+
+    /// Dispatch one event. `plans` holds precomputed completion plans
+    /// from the current lockstep window (always empty in serial mode);
+    /// a plan invalidated by an intervening mutation is recomputed here,
+    /// on the same pure code path the serial loop uses.
+    fn dispatch_event(&mut self, now: SimTime, ev: Event, plans: &mut HashMap<TxHandle, TxPlan>) {
+        match ev {
+            Event::TxComplete { tx } => {
+                let deliveries = match plans.remove(&tx) {
+                    Some(plan) if self.medium.plan_is_current(&plan) => {
+                        self.sim_plans_committed += 1;
+                        self.medium.commit_complete(plan)
+                    }
+                    Some(_) => {
+                        self.sim_plans_stale += 1;
+                        self.medium.complete_tx(now, tx)
+                    }
+                    None => self.medium.complete_tx(now, tx),
+                };
+                let mut touched = Vec::new();
+                for d in deliveries {
+                    let (node, radio) = self.radio_owner[d.to.0 as usize];
+                    self.receive_on_radio(now, node, radio, &d.bytes, d.rssi_dbm, d.channel);
+                    if !touched.contains(&node) {
+                        touched.push(node);
+                    }
+                }
+                for node in touched {
+                    self.poll_node(now, node);
+                }
+            }
+            Event::NodePoll { node } => {
+                if self.nodes[node].scheduled_poll <= now {
+                    self.nodes[node].scheduled_poll = SimTime::FOREVER;
+                }
+                self.poll_node(now, node);
+            }
+            Event::WireDeliver { node, iface, bytes } => {
+                self.nodes[node].host.on_link_rx(now, iface, &bytes);
+                self.poll_node(now, node);
+            }
+            Event::BridgeDeliver { node, radio, bytes } => {
+                self.bridge_wired_rx(now, node, radio, &bytes);
+                self.poll_node(now, node);
+            }
+            Event::TapDeliver { node, bytes } => {
+                if let Some(mon) = &mut self.nodes[node].wired_monitor {
+                    mon.inspect(now, &bytes);
+                }
+                if let Some(tap) = &mut self.nodes[node].wire_tap {
+                    tap.frames.push((now, bytes));
+                }
+            }
+        }
     }
 
     fn receive_on_radio(
@@ -670,7 +967,7 @@ impl World {
                 MacOutput::Tx { bytes, bitrate } => {
                     let rid = self.nodes[node].radios[radio].radio;
                     let (tx, end) = self.medium.begin_tx(now, rid, bytes, bitrate);
-                    self.queue.schedule(end, Event::TxComplete { tx });
+                    self.schedule_event(end, Event::TxComplete { tx });
                 }
                 MacOutput::SetChannel(ch) => {
                     let rid = self.nodes[node].radios[radio].radio;
@@ -796,7 +1093,7 @@ impl World {
                     bytes: bytes.clone(),
                 },
             };
-            self.queue.schedule(now + latency + extra, ev);
+            self.schedule_event(now + latency + extra, ev);
         }
     }
 
@@ -936,7 +1233,7 @@ impl World {
             return; // an earlier-or-equal poll is already pending
         }
         self.nodes[node].scheduled_poll = at;
-        self.queue.schedule(at, Event::NodePoll { node });
+        self.schedule_event(at, Event::NodePoll { node });
     }
 
     /// Schedule an immediate poll of a node — required after mutating a

@@ -11,10 +11,17 @@
 //!
 //! Lookups go through interior mutability so read-shaped APIs
 //! ([`crate::Medium::rssi_estimate_dbm`], site-audit range predictions)
-//! can fill the cache from `&self`.
+//! can fill the cache from `&self`. Since PR 8 the interior mutability
+//! is thread-safe (`Mutex` + atomics, not `RefCell` + `Cell`): the
+//! sharded loop shares `&Medium` across the rayon pool during its
+//! read-only plan phase, which requires `Medium: Sync`. The plan phase
+//! itself never touches the cache — fills happen only in serial code —
+//! and every fill is a pure function of its key, so the swap cannot
+//! perturb a single cached bit.
 
-use std::cell::{Cell, RefCell};
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
 
 use crate::propagation::{path_loss_db, Pos};
 
@@ -31,9 +38,9 @@ struct Entry {
 /// The pairwise gain matrix, filled on demand.
 #[derive(Debug, Default)]
 pub(crate) struct PathLossCache {
-    entries: RefCell<HashMap<(u32, u32), Entry>>,
-    hits: Cell<u64>,
-    misses: Cell<u64>,
+    entries: Mutex<HashMap<(u32, u32), Entry>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
 }
 
 impl PathLossCache {
@@ -45,16 +52,17 @@ impl PathLossCache {
         let (lo, hi) = if a.0 <= b.0 { (a, b) } else { (b, a) };
         let key = (lo.0, hi.0);
         let epochs = (lo.2, hi.2);
-        if let Some(e) = self.entries.borrow().get(&key) {
+        if let Some(e) = self.entries.lock().unwrap().get(&key) {
             if e.epochs == epochs {
-                self.hits.set(self.hits.get() + 1);
+                self.hits.fetch_add(1, Ordering::Relaxed);
                 return e.loss_db;
             }
         }
-        self.misses.set(self.misses.get() + 1);
+        self.misses.fetch_add(1, Ordering::Relaxed);
         let loss_db = path_loss_db(lo.1.distance(hi.1), ref_loss_db, exponent);
         self.entries
-            .borrow_mut()
+            .lock()
+            .unwrap()
             .insert(key, Entry { epochs, loss_db });
         loss_db
     }
@@ -62,9 +70,9 @@ impl PathLossCache {
     /// (cached pairs, lookup hits, lookup misses).
     pub fn stats(&self) -> (usize, u64, u64) {
         (
-            self.entries.borrow().len(),
-            self.hits.get(),
-            self.misses.get(),
+            self.entries.lock().unwrap().len(),
+            self.hits.load(Ordering::Relaxed),
+            self.misses.load(Ordering::Relaxed),
         )
     }
 }

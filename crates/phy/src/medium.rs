@@ -61,7 +61,7 @@ use crate::propagation::{
 pub struct RadioId(pub u32);
 
 /// Handle to an in-flight transmission.
-#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
 pub struct TxHandle(u64);
 
 /// Tunable propagation / receiver parameters.
@@ -142,6 +142,36 @@ struct Transmission {
     completed: bool,
 }
 
+/// The precomputed outcome of completing one transmission: the pure,
+/// read-only half of [`Medium::complete_tx`], produced by
+/// [`Medium::plan_complete`] (possibly on another thread) and applied by
+/// [`Medium::commit_complete`].
+///
+/// A plan is valid while the channel-version snapshot it carries still
+/// matches the medium: every mutation that could change a completion
+/// outcome (a new overlapping transmission, a retune, an enable/disable)
+/// bumps the version of the channels it can affect. A stale plan is
+/// simply recomputed — `plan_complete` is a pure function of medium
+/// state, so replanning at commit time reproduces exactly what a serial
+/// execution would have computed.
+#[derive(Debug)]
+pub struct TxPlan {
+    handle: TxHandle,
+    end: SimTime,
+    deliveries: Vec<Delivery>,
+    halfduplex_misses: u64,
+    sinr_drops: u64,
+    /// `(channel, version)` over the completing tx's interaction span.
+    versions: Vec<(u8, u64)>,
+}
+
+impl TxPlan {
+    /// The transmission this plan completes.
+    pub fn handle(&self) -> TxHandle {
+        self.handle
+    }
+}
+
 /// A successfully decoded frame at one radio.
 #[derive(Clone, Debug)]
 pub struct Delivery {
@@ -191,6 +221,15 @@ pub struct Medium {
     audible_rows: HashMap<u32, (u64, AudibleRow)>,
     /// Bumped whenever the radio set or any position changes.
     geom_epoch: u64,
+    /// Per-channel mutation counters (index 1..=14), the conflict
+    /// detector for precomputed [`TxPlan`]s: bumped by every mutation
+    /// that can change a pending completion's outcome on that channel —
+    /// `begin_tx` (new interferer / half-duplex source), `set_channel`
+    /// (old and new), `set_enabled`, `add_radio`. Position moves need no
+    /// bump: begin-era power samples are pinned by `set_pos`, so a
+    /// completion's outcome is move-invariant by construction (see the
+    /// `midflight_move_*` tests).
+    channel_versions: [u64; 15],
     row_reuses: u64,
     force_dense: bool,
     rng: SimRng,
@@ -221,6 +260,7 @@ impl Medium {
             cache: PathLossCache::default(),
             audible_rows: HashMap::new(),
             geom_epoch: 0,
+            channel_versions: [0; 15],
             row_reuses: 0,
             force_dense: false,
             rng: SimRng::new(seed.fork(0x9097)),
@@ -249,6 +289,7 @@ impl Medium {
         });
         self.grid.insert(idx, pos);
         self.geom_epoch += 1;
+        self.channel_versions[channel as usize] += 1;
         RadioId(idx)
     }
 
@@ -305,7 +346,13 @@ impl Medium {
     /// valid.
     pub fn set_channel(&mut self, id: RadioId, channel: u8) {
         assert!((1..=14).contains(&channel), "invalid 802.11b channel");
+        let old = self.radios[id.0 as usize].channel;
         self.radios[id.0 as usize].channel = channel;
+        // A retune changes which pending completions this radio can
+        // receive (or deafen via half-duplex) — invalidate plans on both
+        // the channel it left and the one it joined.
+        self.channel_versions[old as usize] += 1;
+        self.channel_versions[channel as usize] += 1;
     }
 
     /// Channel a radio is currently tuned to.
@@ -315,7 +362,10 @@ impl Medium {
 
     /// Enable or disable (power off) a radio.
     pub fn set_enabled(&mut self, id: RadioId, enabled: bool) {
-        self.radios[id.0 as usize].enabled = enabled;
+        let r = &mut self.radios[id.0 as usize];
+        r.enabled = enabled;
+        let ch = r.channel;
+        self.channel_versions[ch as usize] += 1;
     }
 
     /// Deterministic (shadowing-free) received power estimate of `from`'s
@@ -449,6 +499,10 @@ impl Medium {
         self.tx_index.insert(id, self.txs.len() - 1);
         self.by_channel[channel as usize].push(id);
         self.by_src.entry(src.0).or_default().push(id);
+        // A new in-flight tx is a potential interferer / half-duplex
+        // source for every pending completion within the interaction
+        // span of its channel; their plans must be recomputed.
+        self.channel_versions[channel as usize] += 1;
         self.prune(now);
         (TxHandle(id), end)
     }
@@ -477,14 +531,27 @@ impl Medium {
 
     /// Complete a transmission, returning all successful deliveries. Must
     /// be called exactly once, at the end time returned by `begin_tx`.
+    ///
+    /// Equivalent to [`Self::plan_complete`] followed immediately by
+    /// [`Self::commit_complete`] — the serial loop and the sharded loop
+    /// run the *same* decision code, which is what makes the sharded
+    /// execution bit-identical by construction.
     pub fn complete_tx(&mut self, now: SimTime, handle: TxHandle) -> Vec<Delivery> {
+        let plan = self.plan_complete(now, handle);
+        self.commit_complete(plan)
+    }
+
+    /// The pure half of [`Self::complete_tx`]: compute every delivery
+    /// and counter delta for the transmission ending at `now`, without
+    /// mutating anything. `&self` only — the sharded loop calls this
+    /// from the rayon pool for all completions in a lockstep window.
+    pub fn plan_complete(&self, now: SimTime, handle: TxHandle) -> TxPlan {
         let idx = *self
             .tx_index
             .get(&handle.0)
             .expect("unknown or pruned transmission");
         assert!(!self.txs[idx].completed, "complete_tx called twice");
         assert_eq!(self.txs[idx].end, now, "complete_tx at wrong time");
-        self.txs[idx].completed = true;
 
         // Copy the tx's scalar identity and refcount its payload so the
         // candidate loop below can read other txs through `self` freely;
@@ -580,9 +647,43 @@ impl Medium {
                 bitrate: tx_bitrate,
             });
         }
-        self.halfduplex_misses += halfduplex_misses;
-        self.sinr_drops += sinr_drops;
-        out
+        TxPlan {
+            handle,
+            end: now,
+            deliveries: out,
+            halfduplex_misses,
+            sinr_drops,
+            versions: interacting_channels(tx_channel)
+                .map(|ch| (ch as u8, self.channel_versions[ch]))
+                .collect(),
+        }
+    }
+
+    /// Is `plan` still guaranteed to match what `plan_complete` would
+    /// compute right now? True while no mutation has touched any channel
+    /// in the completing tx's interaction span since the plan was made.
+    pub fn plan_is_current(&self, plan: &TxPlan) -> bool {
+        plan.versions
+            .iter()
+            .all(|&(ch, v)| self.channel_versions[ch as usize] == v)
+    }
+
+    /// The mutating half of [`Self::complete_tx`]: mark the transmission
+    /// completed, fold the counter deltas in, and hand back the
+    /// deliveries. The caller (the sharded loop) must ensure the plan is
+    /// current — [`Self::plan_is_current`] — or replan; this method
+    /// trusts it.
+    pub fn commit_complete(&mut self, plan: TxPlan) -> Vec<Delivery> {
+        let idx = *self
+            .tx_index
+            .get(&plan.handle.0)
+            .expect("unknown or pruned transmission");
+        assert!(!self.txs[idx].completed, "complete_tx called twice");
+        assert_eq!(self.txs[idx].end, plan.end, "commit at wrong time");
+        self.txs[idx].completed = true;
+        self.halfduplex_misses += plan.halfduplex_misses;
+        self.sinr_drops += plan.sinr_drops;
+        plan.deliveries
     }
 
     /// Carrier sense: is any in-flight transmission audible at `radio`
@@ -613,6 +714,27 @@ impl Medium {
     /// Number of registered radios.
     pub fn radio_count(&self) -> usize {
         self.radios.len()
+    }
+
+    /// Source position of an in-flight transmission, frozen at begin
+    /// time — the shard-routing key for its completion event.
+    pub fn tx_src_pos(&self, handle: TxHandle) -> Pos {
+        self.txs[self.tx_index[&handle.0]].src_pos
+    }
+
+    /// Conservative audible radius of an in-flight transmission: the
+    /// distance at which its received power falls to the audible floor.
+    /// Infinite when the floor is unreachable (degenerate parameters).
+    /// Used with [`crate::RegionMap::disc_crosses_region`] to classify
+    /// boundary events.
+    pub fn tx_audible_range_m(&self, handle: TxHandle) -> f64 {
+        let t = &self.txs[self.tx_index[&handle.0]];
+        max_range_m(
+            t.tx_power_dbm,
+            self.audible_floor_dbm,
+            self.params.ref_loss_db,
+            self.params.path_loss_exponent,
+        )
     }
 
     /// Transmission records currently retained (in-flight plus completed
@@ -1134,6 +1256,84 @@ mod tests {
         let ds = m.complete_tx(end, h);
         assert!(!ds.iter().any(|d| d.to == late));
         assert_eq!((m.halfduplex_misses, m.sinr_drops), (0, 0));
+    }
+
+    #[test]
+    fn plan_commit_matches_complete_and_staleness_is_detected() {
+        // A plan made before a conflicting begin_tx must read as stale;
+        // replanning + committing must reproduce exactly what a pure
+        // serial complete_tx computes in an identical world.
+        let run_serial = || {
+            let mut m = medium();
+            let a = m.add_radio(Pos::new(0.0, 0.0), 1, 15.0);
+            let b = m.add_radio(Pos::new(20.0, 0.0), 1, 15.0);
+            let _victim = m.add_radio(Pos::new(10.0, 0.0), 1, 15.0);
+            let (h1, e1) = m.begin_tx(SimTime::ZERO, a, bytes(200), Bitrate::B11);
+            let (h2, e2) = m.begin_tx(SimTime::ZERO, b, bytes(200), Bitrate::B11);
+            let d1 = m.complete_tx(e1, h1);
+            let d2 = m.complete_tx(e2, h2);
+            let sig: Vec<(u32, u64)> = d1
+                .iter()
+                .chain(d2.iter())
+                .map(|d| (d.to.0, d.rssi_dbm.to_bits()))
+                .collect();
+            (sig, m.halfduplex_misses, m.sinr_drops)
+        };
+        let run_planned = || {
+            let mut m = medium();
+            let a = m.add_radio(Pos::new(0.0, 0.0), 1, 15.0);
+            let b = m.add_radio(Pos::new(20.0, 0.0), 1, 15.0);
+            let _victim = m.add_radio(Pos::new(10.0, 0.0), 1, 15.0);
+            let (h1, e1) = m.begin_tx(SimTime::ZERO, a, bytes(200), Bitrate::B11);
+            let early = m.plan_complete(e1, h1);
+            assert!(m.plan_is_current(&early), "nothing changed yet");
+            // b's overlapping same-channel tx bumps channel 1: the early
+            // plan (which saw no interferer) is now stale.
+            let (h2, e2) = m.begin_tx(SimTime::ZERO, b, bytes(200), Bitrate::B11);
+            assert!(
+                !m.plan_is_current(&early),
+                "conflicting begin_tx must invalidate the plan"
+            );
+            let d1 = m.commit_complete(m.plan_complete(e1, h1));
+            let d2 = m.commit_complete(m.plan_complete(e2, h2));
+            let sig: Vec<(u32, u64)> = d1
+                .iter()
+                .chain(d2.iter())
+                .map(|d| (d.to.0, d.rssi_dbm.to_bits()))
+                .collect();
+            (sig, m.halfduplex_misses, m.sinr_drops)
+        };
+        assert_eq!(run_serial(), run_planned());
+    }
+
+    #[test]
+    fn retune_and_power_toggle_invalidate_plans() {
+        let mut m = medium();
+        let a = m.add_radio(Pos::new(0.0, 0.0), 1, 15.0);
+        let b = m.add_radio(Pos::new(10.0, 0.0), 1, 15.0);
+        let (h, end) = m.begin_tx(SimTime::ZERO, a, bytes(10), Bitrate::B11);
+        let plan = m.plan_complete(end, h);
+        m.set_channel(b, 3);
+        assert!(!m.plan_is_current(&plan), "retune within span must bump");
+        let plan = m.plan_complete(end, h);
+        m.set_enabled(b, false);
+        assert!(!m.plan_is_current(&plan), "power-off must bump");
+        // A retune far outside the interaction span is invisible.
+        let c = m.add_radio(Pos::new(500.0, 0.0), 11, 15.0);
+        let plan = m.plan_complete(end, h);
+        m.set_channel(c, 12);
+        assert!(
+            m.plan_is_current(&plan),
+            "channel 11→12 cannot affect a channel-1 completion"
+        );
+        assert_eq!(m.commit_complete(plan).len(), 0, "b is disabled");
+    }
+
+    #[test]
+    fn medium_is_sync_for_the_parallel_plan_phase() {
+        fn assert_sync<T: Sync>() {}
+        assert_sync::<Medium>();
+        assert_sync::<TxPlan>();
     }
 
     #[test]

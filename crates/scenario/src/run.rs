@@ -21,7 +21,7 @@ use rogue_sim::SimTime;
 
 use crate::compile::{compile, Compiled};
 use crate::spec::{ReportKind, Scenario};
-use crate::toml::{parse_value_or_str, Error, Item, Span, Table as TomlTable, Value};
+use crate::toml::{parse_value_or_str, Error, Item, Table as TomlTable, Value};
 
 /// Totals a finished summary run reports (also handy for tests).
 #[derive(Clone, Debug, Default, PartialEq)]
@@ -234,8 +234,17 @@ pub fn run_scenario(sc: &Scenario) -> Result<String, Error> {
 /// Apply one `--override path=value` to a parsed root table, before the
 /// typed `spec` pass. Path segments are `.`-separated; a numeric segment
 /// indexes an array (of tables), e.g. `population.0.count=20`.
+///
+/// Failures carry real spans — the source position of the value the
+/// walk died at, or of the table that lacked a requested array — so an
+/// override error points into the scenario file like any other parse
+/// error. Indexing an array that does not exist is an error, never a
+/// materialization: inventing `population` as an empty table to satisfy
+/// `population.0.count=5` would hand the typed pass a shape it can only
+/// misreport. Plain table sections, by contrast, may still be added
+/// whole (`wids.channels=[1, 6]` on a file with no `[wids]`).
 pub fn apply_override(root: &mut TomlTable, spec: &str) -> Result<(), Error> {
-    let here = Span { line: 0, col: 0 };
+    let here = root.span;
     let Some((path, raw)) = spec.split_once('=') else {
         return Err(Error::at(
             here,
@@ -250,122 +259,91 @@ pub fn apply_override(root: &mut TomlTable, spec: &str) -> Result<(), Error> {
         ));
     }
     let item = parse_value_or_str(raw);
-
-    let mut table = root;
-    for (i, seg) in segs.iter().enumerate() {
-        let last = i + 1 == segs.len();
-        if last {
-            set_leaf(table, seg, item)?;
-            return Ok(());
-        }
-        // Materialize intermediate tables so overrides can add whole
-        // sections (`wids.pos=[5.0, 5.0]` on a file with no `[wids]`).
-        let slot = match table.entries.iter().position(|(k, _)| k == seg) {
-            Some(p) => p,
-            None => {
-                table.entries.push((
-                    seg.to_string(),
-                    Item {
-                        value: Value::Table(TomlTable {
-                            entries: Vec::new(),
-                            span: here,
-                        }),
-                        span: here,
-                    },
-                ));
-                table.entries.len() - 1
-            }
-        };
-        let next = &mut table.entries[slot].1;
-        table = match &mut next.value {
-            Value::Table(t) => t,
-            Value::Array(items) => {
-                let idx_seg = segs[i + 1];
-                let idx: usize = idx_seg.parse().map_err(|_| {
-                    Error::at(
-                        here,
-                        format!("`{seg}` is an array; the next segment must be an index, got `{idx_seg}`"),
-                    )
-                })?;
-                let len = items.len();
-                let slot = items.get_mut(idx).ok_or_else(|| {
-                    Error::at(
-                        here,
-                        format!("index {idx} out of range for `{seg}` (len {len})"),
-                    )
-                })?;
-                if i + 2 == segs.len() {
-                    // `pop.0=value` — replacing a whole table element.
-                    *slot = item;
-                    return Ok(());
-                }
-                match &mut slot.value {
-                    Value::Table(t) => {
-                        // Consume the index segment too.
-                        let rest = &segs[i + 2..];
-                        return apply_rest(t, rest, item, here);
-                    }
-                    other => {
-                        return Err(Error::at(
-                            here,
-                            format!("`{seg}.{idx}` is {}, not a table", other.type_name()),
-                        ))
-                    }
-                }
-            }
-            other => {
-                return Err(Error::at(
-                    here,
-                    format!(
-                        "override path `{path}`: `{seg}` is {}, not a table",
-                        other.type_name()
-                    ),
-                ))
-            }
-        };
-    }
-    unreachable!("loop always returns on the last segment")
+    walk_table(root, &segs, item, path)
 }
 
-/// Continue an override walk below an array element.
-fn apply_rest(table: &mut TomlTable, segs: &[&str], item: Item, here: Span) -> Result<(), Error> {
-    if segs.is_empty() {
-        return Err(Error::at(here, "override path ends at an array index"));
+/// Walk `segs` through a table: the last segment sets (or adds) a leaf;
+/// earlier segments descend, materializing missing *table* sections.
+fn walk_table(table: &mut TomlTable, segs: &[&str], item: Item, path: &str) -> Result<(), Error> {
+    let seg = segs[0];
+    if segs.len() == 1 {
+        return set_leaf(table, seg, item);
     }
-    let mut table = table;
-    for (i, seg) in segs.iter().enumerate() {
-        if i + 1 == segs.len() {
-            set_leaf(table, seg, item)?;
-            return Ok(());
-        }
-        let slot = match table.entries.iter().position(|(k, _)| k == seg) {
-            Some(p) => p,
-            None => {
-                table.entries.push((
-                    seg.to_string(),
-                    Item {
-                        value: Value::Table(TomlTable {
-                            entries: Vec::new(),
-                            span: here,
-                        }),
-                        span: here,
-                    },
-                ));
-                table.entries.len() - 1
-            }
-        };
-        let next = &mut table.entries[slot].1;
-        table = match &mut next.value {
-            Value::Table(t) => t,
-            other => {
+    let slot = match table.entries.iter().position(|(k, _)| k == seg) {
+        Some(p) => p,
+        None => {
+            // A numeric follow-up segment means the override is
+            // indexing `seg` as an array — which element would a
+            // materialized empty one hold? Fail loudly instead.
+            if segs[1].parse::<usize>().is_ok() {
                 return Err(Error::at(
-                    here,
-                    format!("`{seg}` is {}, not a table", other.type_name()),
-                ))
+                    table.span,
+                    format!("override path `{path}`: no `{seg}` array to index in the scenario"),
+                ));
             }
-        };
+            // Materialize an intermediate table so overrides can add
+            // whole sections (`wids.pos=[5.0, 5.0]` with no `[wids]`).
+            let span = table.span;
+            table.entries.push((
+                seg.to_string(),
+                Item {
+                    value: Value::Table(TomlTable {
+                        entries: Vec::new(),
+                        span,
+                    }),
+                    span,
+                },
+            ));
+            table.entries.len() - 1
+        }
+    };
+    walk_item(&mut table.entries[slot].1, seg, &segs[1..], item, path)
+}
+
+/// Continue below the value named by `taken` (the key or array index
+/// the walk just consumed). Empty `segs` replaces the value itself
+/// (`population.0=...` swaps a whole array element).
+fn walk_item(
+    cur: &mut Item,
+    taken: &str,
+    segs: &[&str],
+    item: Item,
+    path: &str,
+) -> Result<(), Error> {
+    if segs.is_empty() {
+        *cur = item;
+        return Ok(());
     }
-    unreachable!("loop always returns on the last segment")
+    let span = cur.span;
+    match &mut cur.value {
+        Value::Table(t) => walk_table(t, segs, item, path),
+        Value::Array(items) => {
+            let idx_seg = segs[0];
+            let idx: usize = idx_seg.parse().map_err(|_| {
+                Error::at(
+                    span,
+                    format!(
+                        "`{taken}` is an array; the next segment must be an index, got `{idx_seg}`"
+                    ),
+                )
+            })?;
+            let len = items.len();
+            let elem = items.get_mut(idx).ok_or_else(|| {
+                Error::at(
+                    span,
+                    format!("index {idx} out of range for `{taken}` (len {len})"),
+                )
+            })?;
+            walk_item(elem, idx_seg, &segs[1..], item, path)
+        }
+        other => Err(Error::at(
+            span,
+            format!(
+                "override path `{path}`: `{taken}` is {}, not a table",
+                other.type_name()
+            ),
+        )),
+    }
 }
 
 /// Replace or insert the final key.
@@ -425,5 +403,38 @@ area = [0.0, 0.0, 10.0, 10.0]
         assert!(err.msg.contains("index"), "{err}");
         let err = apply_override(&mut root, "name.deep=1").unwrap_err();
         assert!(err.msg.contains("not a table"), "{err}");
+    }
+
+    #[test]
+    fn indexing_a_missing_array_fails_instead_of_materializing() {
+        // SRC has no [[server]]. Inventing one as an empty table used
+        // to push the failure into the typed pass with a nonsense
+        // shape; now the override itself refuses.
+        let mut root = parse(SRC).unwrap();
+        let err = apply_override(&mut root, "server.0.ip=10.0.0.9").unwrap_err();
+        assert!(err.msg.contains("no `server` array"), "{err}");
+        // And the document is untouched: the valid file still compiles.
+        from_table(&root).unwrap();
+    }
+
+    #[test]
+    fn overrides_reach_scalar_array_elements() {
+        // `area` is an array inside an array-of-tables element — the
+        // walk must index through both layers.
+        let mut root = parse(SRC).unwrap();
+        apply_override(&mut root, "population.0.area.2=99.0").unwrap();
+        let sc = from_table(&root).unwrap();
+        assert_eq!(sc.populations[0].area[2], 99.0);
+    }
+
+    #[test]
+    fn override_errors_carry_source_spans() {
+        let mut root = parse(SRC).unwrap();
+        // `population` appears in SRC at a real line; dying on it must
+        // point there, not at 0:0.
+        let err = apply_override(&mut root, "population.9.count=1").unwrap_err();
+        assert!(err.span.line > 0, "span must come from the source: {err}");
+        let err = apply_override(&mut root, "name.deep=1").unwrap_err();
+        assert!(err.span.line > 0, "span must come from the source: {err}");
     }
 }

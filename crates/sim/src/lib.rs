@@ -13,15 +13,21 @@
 //! * [`trace`] — a lightweight event trace and counter/histogram recorder
 //!   used by the experiment harness.
 //!
-//! Design rule (see DESIGN.md §5): one simulation world is single-threaded
-//! and deterministic; parallelism happens *across* worlds (seeds, parameter
-//! points) in the `rogue-core` experiment drivers.
+//! Design rule (see DESIGN.md §5, revised by §15): one simulation world
+//! dispatches events serially and deterministically; parallelism happens
+//! *across* worlds (seeds, parameter points) in the `rogue-core`
+//! experiment drivers, and — since PR 8 — *inside* a world only in the
+//! read-only plan phase of the sharded lockstep loop ([`ShardedQueue`]),
+//! whose merged dispatch order is provably identical to a single
+//! [`EventQueue`].
 
 pub mod queue;
 pub mod rng;
+pub mod shard;
 pub mod time;
 pub mod trace;
 
 pub use queue::EventQueue;
 pub use rng::{Seed, SimRng};
+pub use shard::ShardedQueue;
 pub use time::{SimDuration, SimTime};

@@ -119,6 +119,32 @@ impl<E> EventQueue<E> {
         self.next_seq += 1;
         self.live.insert(seq);
         self.heap.push(Entry { at, seq, event });
+        self.assert_disjoint();
+        EventId(seq)
+    }
+
+    /// Schedule `event` at `at` under an externally assigned sequence
+    /// number. This is the shard hook: a [`crate::ShardedQueue`] draws
+    /// seqs from one global counter and injects entries into per-shard
+    /// queues, so that the k-way `(time, seq)` merge across shards pops
+    /// in exactly the order a single queue would have. `seq` must be
+    /// fresh (never scheduled on this queue before); the internal
+    /// counter is bumped past it so mixing with [`Self::schedule`] stays
+    /// collision-free.
+    pub fn schedule_at_seq(&mut self, at: SimTime, seq: u64, event: E) -> EventId {
+        assert!(
+            at >= self.now,
+            "attempted to schedule event in the past ({at:?} < {:?})",
+            self.now
+        );
+        assert!(
+            !self.live.contains(&seq) && !self.cancelled.contains(&seq),
+            "seq {seq} already known to this queue"
+        );
+        self.next_seq = self.next_seq.max(seq + 1);
+        self.live.insert(seq);
+        self.heap.push(Entry { at, seq, event });
+        self.assert_disjoint();
         EventId(seq)
     }
 
@@ -128,16 +154,38 @@ impl<E> EventQueue<E> {
     pub fn cancel(&mut self, id: EventId) -> bool {
         if self.live.remove(&id.0) {
             self.cancelled.insert(id.0);
+            self.assert_disjoint();
             true
         } else {
             false
         }
     }
 
+    /// Invariant: a seq is live xor cancelled, never both. A seq in both
+    /// sets would make `len()` lie and could double-dispatch after a
+    /// tombstone miss in `skip_cancelled`.
+    #[inline]
+    fn assert_disjoint(&self) {
+        debug_assert!(
+            self.live.is_disjoint(&self.cancelled),
+            "live and cancelled seq sets intersect"
+        );
+    }
+
     /// Fire time of the next pending event, if any.
     pub fn peek_time(&mut self) -> Option<SimTime> {
         self.skip_cancelled();
         self.heap.peek().map(|e| e.at)
+    }
+
+    /// `(fire_time, seq)` of the next pending event, if any.
+    ///
+    /// The seq is the global tiebreak for same-instant events; the
+    /// sharded merge uses this to pick which shard's head fires next
+    /// without popping speculatively.
+    pub fn peek_next(&mut self) -> Option<(SimTime, u64)> {
+        self.skip_cancelled();
+        self.heap.peek().map(|e| (e.at, e.seq))
     }
 
     /// Pop the next event, advancing `now` to its fire time.
@@ -148,15 +196,63 @@ impl<E> EventQueue<E> {
         debug_assert!(entry.at >= self.now);
         self.now = entry.at;
         self.dispatched += 1;
+        self.assert_disjoint();
         Some((entry.at, entry.event))
     }
 
-    /// Pop the next event only if it fires at or before `deadline`.
+    /// Pop the next event only if it fires **at or before** `deadline`.
+    ///
+    /// The boundary is inclusive (`t <= deadline`) and that inclusivity
+    /// is load-bearing, not incidental:
+    ///
+    /// - `World::run_until(deadline)` promises that after it returns,
+    ///   every effect scheduled up to and including `deadline` has been
+    ///   applied. The scenario tick loop (`run_summary`) relies on this:
+    ///   it advances in `tick`-sized slices and steps mobility/WIDS
+    ///   *after* `run_until(now)`, so a TX that completes exactly on a
+    ///   tick boundary must be delivered before the detector samples —
+    ///   an exclusive boundary would defer it one whole tick.
+    /// - The sharded lockstep loop uses window edges as deadlines; a
+    ///   window `[start, end]` owns events with `t <= end`, and the next
+    ///   window starts strictly after. Inclusive-here / exclusive-next
+    ///   partitions the timeline with no event falling between windows.
+    ///
+    /// Callers audited for off-by-one window assumptions (PR 8):
+    /// `World::run_until` is the only non-test caller; the medium's
+    /// horizon pruning uses `now()` snapshots, not deadlines, and is
+    /// unaffected by the boundary convention.
     pub fn pop_until(&mut self, deadline: SimTime) -> Option<(SimTime, E)> {
         match self.peek_time() {
             Some(t) if t <= deadline => self.pop(),
             _ => None,
         }
+    }
+
+    /// Consume the queue, yielding every pending (non-cancelled) event
+    /// as `(fire_time, seq, event)` in unspecified order. Used to
+    /// migrate a queue into a different shard layout with sequence
+    /// numbers — and therefore dispatch order — preserved.
+    pub fn into_entries(self) -> Vec<(SimTime, u64, E)> {
+        let live = self.live;
+        self.heap
+            .into_iter()
+            .filter(|e| live.contains(&e.seq))
+            .map(|e| (e.at, e.seq, e.event))
+            .collect()
+    }
+
+    /// Iterate every pending (non-cancelled) event in **unspecified
+    /// order**, yielding `(fire_time, seq, &event)`.
+    ///
+    /// This is a read-only snapshot used by the sharded loop's plan
+    /// phase to gather the events inside a lockstep window without
+    /// popping them; dispatch order still comes exclusively from
+    /// [`Self::pop`]'s `(time, seq)` ordering.
+    pub fn iter_pending(&self) -> impl Iterator<Item = (SimTime, u64, &E)> {
+        self.heap
+            .iter()
+            .filter(|e| self.live.contains(&e.seq))
+            .map(|e| (e.at, e.seq, &e.event))
     }
 
     fn skip_cancelled(&mut self) {
@@ -274,6 +370,85 @@ mod tests {
         assert_eq!(q.pop_until(SimTime::from_millis(15)).unwrap().1, 1);
         assert!(q.pop_until(SimTime::from_millis(15)).is_none());
         assert_eq!(q.pop_until(SimTime::from_millis(25)).unwrap().1, 2);
+    }
+
+    #[test]
+    fn pop_until_deadline_is_inclusive() {
+        // An event at exactly the deadline fires in THIS window; one
+        // nanosecond later belongs to the next. Both sides of the
+        // boundary are pinned because the scenario tick loop and the
+        // sharded lockstep windows partition time on this convention.
+        let t = SimTime::from_millis(10);
+        let mut q = EventQueue::new();
+        q.schedule(t, "on-boundary");
+        q.schedule(t + SimDuration::from_nanos(1), "past-boundary");
+        assert_eq!(
+            q.pop_until(t).unwrap(),
+            (t, "on-boundary"),
+            "t == deadline must fire"
+        );
+        assert!(
+            q.pop_until(t).is_none(),
+            "t == deadline + 1ns must NOT fire"
+        );
+        assert_eq!(
+            q.pop_until(t + SimDuration::from_nanos(1)).unwrap().1,
+            "past-boundary"
+        );
+    }
+
+    #[test]
+    fn pop_until_drains_same_instant_ties_in_seq_order() {
+        // Several events at exactly the deadline: repeated pop_until
+        // calls must drain them all, in scheduling order, before
+        // returning None.
+        let t = SimTime::from_millis(7);
+        let mut q = EventQueue::new();
+        q.schedule(t, "a");
+        q.schedule(t, "b");
+        q.schedule(t, "c");
+        let drained: Vec<&str> = std::iter::from_fn(|| q.pop_until(t).map(|(_, e)| e)).collect();
+        assert_eq!(drained, vec!["a", "b", "c"]);
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn pop_until_with_cancelled_head_at_boundary() {
+        // A tombstoned head exactly at the deadline must be skipped, not
+        // counted, and must not mask a live event at the same instant.
+        let t = SimTime::from_millis(3);
+        let mut q = EventQueue::new();
+        let doomed = q.schedule(t, "doomed");
+        q.schedule(t, "live");
+        q.cancel(doomed);
+        assert_eq!(q.pop_until(t).unwrap().1, "live");
+        assert!(q.pop_until(t).is_none());
+        assert_eq!(q.dispatched(), 1, "cancelled event never dispatches");
+    }
+
+    #[test]
+    fn schedule_at_seq_merges_with_local_seqs() {
+        // The shard hook: externally assigned seqs interleave with
+        // locally assigned ones in strict (time, seq) order, and the
+        // internal counter never collides with an injected seq.
+        let t = SimTime::from_millis(1);
+        let mut q = EventQueue::new();
+        q.schedule_at_seq(t, 5, "five");
+        q.schedule_at_seq(t, 2, "two");
+        let id = q.schedule(t, "six"); // counter bumped past 5 -> seq 6
+        assert_eq!(q.len(), 3);
+        assert_eq!(q.pop().unwrap().1, "two");
+        assert_eq!(q.pop().unwrap().1, "five");
+        assert_eq!(q.pop().unwrap().1, "six");
+        assert!(!q.cancel(id), "already fired");
+    }
+
+    #[test]
+    #[should_panic(expected = "already known")]
+    fn schedule_at_seq_rejects_duplicate_seq() {
+        let mut q = EventQueue::new();
+        q.schedule_at_seq(SimTime::from_millis(1), 7, ());
+        q.schedule_at_seq(SimTime::from_millis(2), 7, ());
     }
 
     #[test]

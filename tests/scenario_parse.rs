@@ -196,3 +196,21 @@ fn override_errors_surface_through_load_source() {
         .expect_err("overridden channel out of range");
     assert!(err.msg.contains("out of range"), "{err}");
 }
+
+#[test]
+fn overriding_a_nonexistent_path_is_a_spanned_error() {
+    // VALID has no [[wids]]-style `sensor` array: indexing one must die
+    // in the override pass with a position, not silently materialize a
+    // table for the typed pass to stumble over (or worse, ignore).
+    let err = load_source(VALID, &["sensor.0.pos=[1.0, 2.0]".to_string()])
+        .expect_err("override into a missing array must fail");
+    assert!(err.msg.contains("no `sensor` array"), "{err}");
+    assert!(err.span.line > 0, "error must carry a source span: {err}");
+
+    // Dying mid-walk on an existing scalar points at that scalar's
+    // actual line in the file.
+    let err = load_source(VALID, &["duration.secs=3".to_string()])
+        .expect_err("descending through a scalar must fail");
+    assert!(err.msg.contains("not a table"), "{err}");
+    assert_eq!(err.span.line, 4, "`duration` lives on line 4: {err}");
+}
