@@ -49,6 +49,7 @@ struct Mode {
     plans_parallel: u64,
     plans_stale: u64,
     fingerprint: (u64, usize, u64, u64, u64),
+    profile: rogue_sim::profile::Snapshot,
 }
 
 /// Build the city: `side * side` radios, APs on the lattice, stations
@@ -148,7 +149,31 @@ fn run(side: usize, shards: usize, horizon: SimTime, seed: Seed) -> Mode {
             w.medium.halfduplex_misses,
             w.medium.sinr_drops,
         ),
+        profile: w.profile_snapshot(),
     }
+}
+
+/// Render a profiler snapshot as a JSON object: per-phase and per-kind
+/// `{ns, count}` rows plus the measured probe overhead (the acceptance
+/// budget is overhead_permille ≤ 20, i.e. ≤ 2 % of dispatch time).
+fn profile_json(p: &rogue_sim::profile::Snapshot) -> String {
+    let row_set = |rows: &[(&'static str, u64, u64)]| -> String {
+        rows.iter()
+            .map(|(label, ns, count)| format!("\"{label}\": {{\"ns\": {ns}, \"count\": {count}}}"))
+            .collect::<Vec<_>>()
+            .join(", ")
+    };
+    format!(
+        concat!(
+            "{{\"phases\": {{{}}}, \"kinds\": {{{}}}, ",
+            "\"overhead_ns\": {}, \"dispatch_ns\": {}, \"overhead_permille\": {}}}"
+        ),
+        row_set(&p.phases),
+        row_set(&p.kinds),
+        p.overhead_ns,
+        p.dispatch_ns,
+        p.overhead_permille(),
+    )
 }
 
 fn write_json(path: &std::path::Path, radios: usize, horizon_ms: u64, modes: &[Mode]) {
@@ -160,7 +185,8 @@ fn write_json(path: &std::path::Path, radios: usize, horizon_ms: u64, modes: &[M
                 concat!(
                     "    {{\"mode\": \"{}\", \"shards\": {}, \"events\": {}, ",
                     "\"elapsed_s\": {:.3}, \"events_per_sec\": {:.0}, ",
-                    "\"speedup_vs_serial\": {:.2}, \"bit_identical\": true}}"
+                    "\"speedup_vs_serial\": {:.2}, \"bit_identical\": true,\n",
+                    "     \"profile\": {}}}"
                 ),
                 m.label,
                 m.shards,
@@ -168,6 +194,7 @@ fn write_json(path: &std::path::Path, radios: usize, horizon_ms: u64, modes: &[M
                 m.elapsed_s,
                 m.events_per_sec,
                 m.events_per_sec / serial_eps,
+                profile_json(&m.profile),
             )
         })
         .collect();
@@ -212,6 +239,18 @@ fn main() {
     println!(
         "  {:<11} {:>9} events in {:>6.2}s   {:>10.0} events/s",
         serial.label, serial.events, serial.elapsed_s, serial.events_per_sec
+    );
+    for &(label, ns, count) in serial.profile.phases.iter().chain(&serial.profile.kinds) {
+        if count > 0 {
+            println!(
+                "    {label:<22} {:>9.3} ms  ({count} spans)",
+                ns as f64 / 1e6
+            );
+        }
+    }
+    println!(
+        "    profiler overhead: {} ‰ of dispatch time (budget ≤ 20 ‰)",
+        serial.profile.overhead_permille()
     );
 
     let mut modes = vec![serial];

@@ -35,6 +35,7 @@ use rogue_netstack::ethernet::EthFrame;
 use rogue_netstack::{Host, IfIndex, Ipv4Addr};
 use rogue_phy::{Medium, MediumParams, Pos, RadioId, RegionMap, TxHandle, TxPlan};
 use rogue_services::apps::{App, AppEvent};
+use rogue_sim::profile::{self, Phase, Profiler};
 use rogue_sim::trace::Metrics;
 use rogue_sim::{Seed, ShardedQueue, SimDuration, SimRng, SimTime};
 use rogue_vpn::{VpnClient, VpnServer};
@@ -47,28 +48,72 @@ pub struct NodeId(pub usize);
 #[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
 pub struct SwitchId(pub usize);
 
-enum Event {
-    TxComplete {
-        tx: TxHandle,
-    },
-    NodePoll {
-        node: usize,
-    },
-    WireDeliver {
-        node: usize,
-        iface: IfIndex,
-        bytes: Bytes,
-    },
-    BridgeDeliver {
-        node: usize,
-        radio: usize,
-        bytes: Bytes,
-    },
-    TapDeliver {
-        node: usize,
-        bytes: Bytes,
-    },
+/// Payload of a frame crossing a switch toward a host interface. Boxed
+/// in [`Event`]: `Bytes` alone is several words, and the queue copies
+/// events around (wheel slots, burst buffers), so the enum must stay
+/// two words.
+struct WireFrame {
+    node: u32,
+    iface: IfIndex,
+    bytes: Bytes,
 }
+
+/// Payload of a frame crossing a switch toward a bridge AP radio.
+struct BridgeFrame {
+    node: u32,
+    radio: u32,
+    bytes: Bytes,
+}
+
+/// Payload of a frame copied to a span-port tap.
+struct TapFrame {
+    node: u32,
+    bytes: Bytes,
+}
+
+enum Event {
+    TxComplete { tx: TxHandle },
+    NodePoll { node: u32 },
+    WireDeliver(Box<WireFrame>),
+    BridgeDeliver(Box<BridgeFrame>),
+    TapDeliver(Box<TapFrame>),
+}
+
+// The hot queue moves events by value constantly; keep them at two
+// words (tag + payload) so a wheel slot stays cache-line friendly.
+const _: () = assert!(std::mem::size_of::<Event>() <= 16);
+
+/// Profiler kind-cell index of an event (indexes [`World::prof_kinds`]).
+fn event_kind(ev: &Event) -> usize {
+    match ev {
+        Event::TxComplete { .. } => 0,
+        Event::NodePoll { .. } => 1,
+        Event::WireDeliver(_) => 2,
+        Event::BridgeDeliver(_) => 3,
+        Event::TapDeliver(_) => 4,
+    }
+}
+
+/// `sim.prof.*` metric keys for the per-phase nanosecond totals, in
+/// [`Phase`] order.
+const PROF_PHASE_KEYS: [&str; rogue_sim::profile::NUM_PHASES] = [
+    "sim.prof.queue_pop_ns",
+    "sim.prof.queue_schedule_ns",
+    "sim.prof.medium_plan_ns",
+    "sim.prof.medium_commit_ns",
+    "sim.prof.deliver_ns",
+    "sim.prof.poll_ns",
+];
+
+/// `sim.prof.*` metric keys for the per-event-kind nanosecond totals,
+/// in [`event_kind`] order.
+const PROF_KIND_KEYS: [&str; 5] = [
+    "sim.prof.ev_tx_complete_ns",
+    "sim.prof.ev_node_poll_ns",
+    "sim.prof.ev_wire_deliver_ns",
+    "sim.prof.ev_bridge_deliver_ns",
+    "sim.prof.ev_tap_deliver_ns",
+];
 
 /// A radio's MAC-layer role.
 enum RadioRole {
@@ -174,6 +219,20 @@ pub struct World {
     switches: Vec<Switch>,
     radio_owner: Vec<(usize, usize)>, // RadioId.0 -> (node, radio idx)
     rng: SimRng,
+    /// Always-on hot-path cycle profiler (wall-clock attribution; only
+    /// surfaced through `sim.prof.*` metrics and bench JSONs, never a
+    /// golden table).
+    prof: Profiler,
+    /// Kind-cell indices, in [`event_kind`] order.
+    prof_kinds: [usize; 5],
+    /// Total `schedule_event` calls; the 1-in-64-sampled QueueSchedule
+    /// phase extrapolates from this at snapshot time.
+    sched_count: u64,
+    // Pooled scratch buffers, reused across every event dispatch.
+    mac_outs_scratch: Vec<MacOutput>,
+    app_events_scratch: Vec<AppEvent>,
+    touched_scratch: Vec<usize>,
+    frames_scratch: Vec<(IfIndex, Bytes)>,
     /// MAC protocol milestones, in order: (time, node, event).
     pub mac_events: Vec<(SimTime, NodeId, MacEvent)>,
     /// Application milestones, in order.
@@ -211,6 +270,14 @@ impl World {
     /// New empty world.
     pub fn new(seed: Seed, params: MediumParams) -> World {
         let mut rng = SimRng::new(seed);
+        let mut prof = Profiler::new();
+        let prof_kinds = [
+            prof.register_kind("tx_complete"),
+            prof.register_kind("node_poll"),
+            prof.register_kind("wire_deliver"),
+            prof.register_kind("bridge_deliver"),
+            prof.register_kind("tap_deliver"),
+        ];
         World {
             medium: Medium::new(params, Seed(rng.next_u64())),
             queue: ShardedQueue::new(DEFAULT_SHARDS.load(std::sync::atomic::Ordering::Relaxed)),
@@ -227,6 +294,13 @@ impl World {
             switches: Vec::new(),
             radio_owner: Vec::new(),
             rng,
+            prof,
+            prof_kinds,
+            sched_count: 0,
+            mac_outs_scratch: Vec::new(),
+            app_events_scratch: Vec::new(),
+            touched_scratch: Vec::new(),
+            frames_scratch: Vec::new(),
             mac_events: Vec::new(),
             app_events: Vec::new(),
             metrics: Metrics::default(),
@@ -667,17 +741,18 @@ impl World {
         let Some(map) = &self.region_map else {
             return 0;
         };
-        match ev {
-            Event::TxComplete { tx } => map.region_of(self.medium.tx_src_pos(*tx)),
-            Event::NodePoll { node }
-            | Event::WireDeliver { node, .. }
-            | Event::BridgeDeliver { node, .. }
-            | Event::TapDeliver { node, .. } => self.nodes[*node]
-                .radios
-                .first()
-                .map(|rb| map.region_of(self.medium.pos(rb.radio)))
-                .unwrap_or(0),
-        }
+        let node = match ev {
+            Event::TxComplete { tx } => return map.region_of(self.medium.tx_src_pos(*tx)),
+            Event::NodePoll { node } => *node,
+            Event::WireDeliver(f) => f.node,
+            Event::BridgeDeliver(f) => f.node,
+            Event::TapDeliver(f) => f.node,
+        };
+        self.nodes[node as usize]
+            .radios
+            .first()
+            .map(|rb| map.region_of(self.medium.pos(rb.radio)))
+            .unwrap_or(0)
     }
 
     /// Schedule `ev`, routing it to its owning shard and counting
@@ -698,7 +773,16 @@ impl World {
                 }
             }
         }
-        self.queue.schedule(shard, at, ev);
+        // Probing every insert would dominate the cost being measured;
+        // sample 1-in-64 and extrapolate at snapshot time.
+        self.sched_count += 1;
+        if self.sched_count & 0x3F == 0 {
+            let t0 = profile::now();
+            self.queue.schedule(shard, at, ev);
+            self.prof.record(Phase::QueueSchedule, t0);
+        } else {
+            self.queue.schedule(shard, at, ev);
+        }
     }
 
     /// Build the stripe partition from the current radio extent, once,
@@ -724,11 +808,18 @@ impl World {
 
     /// Run until simulated time `deadline`.
     pub fn run_until(&mut self, deadline: SimTime) {
-        let mut plans: HashMap<TxHandle, TxPlan> = HashMap::new();
+        let mut plans: Vec<(TxHandle, TxPlan)> = Vec::new();
         if self.queue.num_shards() == 1 {
             // Classic serial loop: pop-dispatch one event at a time.
-            while let Some((now, ev, _)) = self.queue.pop_until(deadline) {
+            loop {
+                let t0 = profile::now();
+                let popped = self.queue.pop_until(deadline);
+                self.prof.record(Phase::QueuePop, t0);
+                let Some((now, ev, _)) = popped else { break };
+                let kind = self.prof_kinds[event_kind(&ev)];
+                let t0 = profile::now();
                 self.dispatch_event(now, ev, &mut plans);
+                self.prof.record_kind(kind, t0);
             }
         } else {
             self.ensure_region_map();
@@ -782,6 +873,33 @@ impl World {
         self.metrics.set("sim.plans_stale", self.sim_plans_stale);
         self.metrics
             .set("sim.shard_occupancy_max", self.sim_shard_occupancy_max);
+        // Profiler breakdown: wall-clock, so strictly `sim.*` (never in
+        // a golden table, which must be identical across shard counts
+        // and hosts).
+        let snap = self.profile_snapshot();
+        for (i, &(_, ns, _)) in snap.phases.iter().enumerate() {
+            self.metrics.set(PROF_PHASE_KEYS[i], ns);
+        }
+        for (i, &(_, ns, _)) in snap.kinds.iter().enumerate() {
+            self.metrics.set(PROF_KIND_KEYS[i], ns);
+        }
+        self.metrics.set("sim.prof.overhead_ns", snap.overhead_ns);
+        self.metrics.set("sim.prof.dispatch_ns", snap.dispatch_ns);
+        self.metrics
+            .set("sim.prof.overhead_permille", snap.overhead_permille());
+    }
+
+    /// Calibrated profiler snapshot: per-phase and per-event-kind time,
+    /// plus the measured probe overhead. The sampled QueueSchedule phase
+    /// is extrapolated to the full schedule count here.
+    pub fn profile_snapshot(&self) -> rogue_sim::profile::Snapshot {
+        let mut snap = self.prof.snapshot();
+        let row = &mut snap.phases[Phase::QueueSchedule as usize];
+        if let Some(scaled) = (row.1 * self.sched_count).checked_div(row.2) {
+            row.1 = scaled;
+            row.2 = self.sched_count;
+        }
+        snap
     }
 
     /// The sharded loop: conservative lockstep windows. Each window
@@ -791,7 +909,7 @@ impl World {
     /// `(time, seq)` order, committing plans that survived conflict
     /// checks and transparently replanning the rest. See DESIGN.md §15
     /// for the bit-identity argument.
-    fn run_windows(&mut self, deadline: SimTime, plans: &mut HashMap<TxHandle, TxPlan>) {
+    fn run_windows(&mut self, deadline: SimTime, plans: &mut Vec<(TxHandle, TxPlan)>) {
         // Scratch buffers reused across every burst in the run.
         let mut burst: Vec<(Event, usize)> = Vec::new();
         let mut todo: Vec<TxHandle> = Vec::new();
@@ -832,10 +950,12 @@ impl World {
                 // events at `t` (immediate polls); those carry higher
                 // seqs, so the outer loop picks them up as the next
                 // burst — still in global (time, seq) order.
+                let t0 = profile::now();
                 while self.queue.peek_time() == Some(t) {
                     let (_, ev, shard) = self.queue.pop().expect("peeked head vanished");
                     burst.push((ev, shard));
                 }
+                self.prof.record(Phase::QueuePop, t0);
 
                 // Plan phase: compute this burst's completions on the
                 // pool. A lone completion is planned serially at
@@ -845,6 +965,7 @@ impl World {
                     _ => None,
                 }));
                 if plan_on_pool && todo.len() > 1 {
+                    let t0 = profile::now();
                     let medium = &self.medium;
                     let computed: Vec<TxPlan> = todo
                         .par_iter()
@@ -852,6 +973,7 @@ impl World {
                         .collect();
                     self.sim_plans_parallel += computed.len() as u64;
                     plans.extend(computed.into_iter().map(|p| (p.handle(), p)));
+                    self.prof.record(Phase::MediumPlan, t0);
                 }
 
                 todo.clear();
@@ -859,7 +981,10 @@ impl World {
                 // Commit phase: strict global (time, seq) replay.
                 for (ev, shard) in burst.drain(..) {
                     self.current_shard = shard;
+                    let kind = self.prof_kinds[event_kind(&ev)];
+                    let t0 = profile::now();
                     self.dispatch_event(t, ev, plans);
+                    self.prof.record_kind(kind, t0);
                 }
                 self.current_shard = 0;
                 debug_assert!(plans.is_empty(), "burst left unconsumed plans");
@@ -872,21 +997,41 @@ impl World {
     /// from the current lockstep window (always empty in serial mode);
     /// a plan invalidated by an intervening mutation is recomputed here,
     /// on the same pure code path the serial loop uses.
-    fn dispatch_event(&mut self, now: SimTime, ev: Event, plans: &mut HashMap<TxHandle, TxPlan>) {
+    fn dispatch_event(&mut self, now: SimTime, ev: Event, plans: &mut Vec<(TxHandle, TxPlan)>) {
         match ev {
             Event::TxComplete { tx } => {
-                let deliveries = match plans.remove(&tx) {
+                // Bursts are small (usually 0 or 1 plans), so a linear
+                // scan beats hashing the handle.
+                let plan = plans
+                    .iter()
+                    .position(|(h, _)| *h == tx)
+                    .map(|i| plans.swap_remove(i).1);
+                let deliveries = match plan {
                     Some(plan) if self.medium.plan_is_current(&plan) => {
                         self.sim_plans_committed += 1;
-                        self.medium.commit_complete(plan)
+                        let t0 = profile::now();
+                        let d = self.medium.commit_complete(plan);
+                        self.prof.record(Phase::MediumCommit, t0);
+                        d
                     }
-                    Some(_) => {
-                        self.sim_plans_stale += 1;
-                        self.medium.complete_tx(now, tx)
+                    stale => {
+                        // complete_tx == plan_complete + commit_complete;
+                        // split here so each phase is attributed.
+                        if stale.is_some() {
+                            self.sim_plans_stale += 1;
+                        }
+                        let t0 = profile::now();
+                        let plan = self.medium.plan_complete(now, tx);
+                        self.prof.record(Phase::MediumPlan, t0);
+                        let t0 = profile::now();
+                        let d = self.medium.commit_complete(plan);
+                        self.prof.record(Phase::MediumCommit, t0);
+                        d
                     }
-                    None => self.medium.complete_tx(now, tx),
                 };
-                let mut touched = Vec::new();
+                let t0 = profile::now();
+                let mut touched = std::mem::take(&mut self.touched_scratch);
+                debug_assert!(touched.is_empty());
                 for d in deliveries {
                     let (node, radio) = self.radio_owner[d.to.0 as usize];
                     self.receive_on_radio(now, node, radio, &d.bytes, d.rssi_dbm, d.channel);
@@ -894,30 +1039,44 @@ impl World {
                         touched.push(node);
                     }
                 }
-                for node in touched {
+                self.prof.record(Phase::Deliver, t0);
+                let t0 = profile::now();
+                for &node in &touched {
                     self.poll_node(now, node);
                 }
+                self.prof.record(Phase::Poll, t0);
+                touched.clear();
+                self.touched_scratch = touched;
             }
             Event::NodePoll { node } => {
+                let node = node as usize;
                 if self.nodes[node].scheduled_poll <= now {
                     self.nodes[node].scheduled_poll = SimTime::FOREVER;
                 }
+                let t0 = profile::now();
                 self.poll_node(now, node);
+                self.prof.record(Phase::Poll, t0);
             }
-            Event::WireDeliver { node, iface, bytes } => {
-                self.nodes[node].host.on_link_rx(now, iface, &bytes);
+            Event::WireDeliver(f) => {
+                let node = f.node as usize;
+                self.nodes[node].host.on_link_rx(now, f.iface, &f.bytes);
+                let t0 = profile::now();
                 self.poll_node(now, node);
+                self.prof.record(Phase::Poll, t0);
             }
-            Event::BridgeDeliver { node, radio, bytes } => {
-                self.bridge_wired_rx(now, node, radio, &bytes);
+            Event::BridgeDeliver(f) => {
+                let node = f.node as usize;
+                self.bridge_wired_rx(now, node, f.radio as usize, &f.bytes);
+                let t0 = profile::now();
                 self.poll_node(now, node);
+                self.prof.record(Phase::Poll, t0);
             }
-            Event::TapDeliver { node, bytes } => {
-                if let Some(mon) = &mut self.nodes[node].wired_monitor {
-                    mon.inspect(now, &bytes);
+            Event::TapDeliver(f) => {
+                if let Some(mon) = &mut self.nodes[f.node as usize].wired_monitor {
+                    mon.inspect(now, &f.bytes);
                 }
-                if let Some(tap) = &mut self.nodes[node].wire_tap {
-                    tap.frames.push((now, bytes));
+                if let Some(tap) = &mut self.nodes[f.node as usize].wire_tap {
+                    tap.frames.push((now, f.bytes));
                 }
             }
         }
@@ -932,7 +1091,8 @@ impl World {
         rssi: f64,
         channel: u8,
     ) {
-        let mut outs = Vec::new();
+        let mut outs = std::mem::take(&mut self.mac_outs_scratch);
+        debug_assert!(outs.is_empty());
         match &mut self.nodes[node].radios[radio].role {
             RadioRole::Sta { mac, .. } => mac.on_receive(now, bytes, rssi, channel, &mut outs),
             RadioRole::ApLocal { mac, .. } | RadioRole::ApBridge { mac, .. } => {
@@ -941,7 +1101,8 @@ impl World {
             RadioRole::Monitor { sniffer } => sniffer.on_receive(now, bytes, rssi, channel),
             RadioRole::Injector { .. } => {}
         }
-        self.process_mac_outputs(now, node, radio, outs);
+        self.process_mac_outputs(now, node, radio, &mut outs);
+        self.mac_outs_scratch = outs;
     }
 
     fn bridge_wired_rx(&mut self, now: SimTime, node: usize, radio: usize, bytes: &Bytes) {
@@ -955,14 +1116,16 @@ impl World {
         }
     }
 
+    /// Drain and apply a batch of MAC outputs. Takes `&mut Vec` (drained
+    /// empty on return) so callers can pool the buffer across events.
     fn process_mac_outputs(
         &mut self,
         now: SimTime,
         node: usize,
         radio: usize,
-        outs: Vec<MacOutput>,
+        outs: &mut Vec<MacOutput>,
     ) {
-        for out in outs {
+        for out in outs.drain(..) {
             match out {
                 MacOutput::Tx { bytes, bitrate } => {
                     let rid = self.nodes[node].radios[radio].radio;
@@ -1078,20 +1241,20 @@ impl World {
         };
         for p in targets {
             let ev = match &self.switches[sw].ports[p] {
-                PortTarget::HostIface { node, iface } => Event::WireDeliver {
-                    node: *node,
+                PortTarget::HostIface { node, iface } => Event::WireDeliver(Box::new(WireFrame {
+                    node: *node as u32,
                     iface: *iface,
                     bytes: bytes.clone(),
-                },
-                PortTarget::Bridge { node, radio } => Event::BridgeDeliver {
-                    node: *node,
-                    radio: *radio,
+                })),
+                PortTarget::Bridge { node, radio } => Event::BridgeDeliver(Box::new(BridgeFrame {
+                    node: *node as u32,
+                    radio: *radio as u32,
                     bytes: bytes.clone(),
-                },
-                PortTarget::Tap { node } => Event::TapDeliver {
-                    node: *node,
+                })),
+                PortTarget::Tap { node } => Event::TapDeliver(Box::new(TapFrame {
+                    node: *node as u32,
                     bytes: bytes.clone(),
-                },
+                })),
             };
             self.schedule_event(now + latency + extra, ev);
         }
@@ -1104,7 +1267,8 @@ impl World {
         // 2. MAC entities.
         let radio_count = self.nodes[node].radios.len();
         for r in 0..radio_count {
-            let mut outs = Vec::new();
+            let mut outs = std::mem::take(&mut self.mac_outs_scratch);
+            debug_assert!(outs.is_empty());
             match &mut self.nodes[node].radios[r].role {
                 RadioRole::Sta { mac, .. } => mac.poll(now, &mut outs),
                 RadioRole::ApLocal { mac, .. } | RadioRole::ApBridge { mac, .. } => {
@@ -1113,7 +1277,8 @@ impl World {
                 RadioRole::Injector { injector } => injector.poll(now, &mut outs),
                 RadioRole::Monitor { .. } => {}
             }
-            self.process_mac_outputs(now, node, r, outs);
+            self.process_mac_outputs(now, node, r, &mut outs);
+            self.mac_outs_scratch = outs;
         }
 
         // 3. Applications (they own sockets on the host). The VPN tun
@@ -1123,8 +1288,9 @@ impl World {
         //    response arriving through the tunnel would not be seen
         //    until the next timer, stalling inner TCP by a full RTO).
         {
+            let mut events = std::mem::take(&mut self.app_events_scratch);
+            debug_assert!(events.is_empty());
             let n = &mut self.nodes[node];
-            let mut events = Vec::new();
             if let Some(tun) = &mut n.tun {
                 match &mut tun.role {
                     TunRole::Client(c) => c.poll(now, &mut n.host, &mut events),
@@ -1134,22 +1300,26 @@ impl World {
             for app in &mut n.apps {
                 app.poll(now, &mut n.host, &mut events);
             }
-            for e in events {
+            for e in events.drain(..) {
                 self.app_events.push((now, NodeId(node), e));
             }
+            self.app_events_scratch = events;
         }
 
         // 4. Drain stack output, possibly several rounds (tun
         //    encapsulation generates new transport frames).
+        let mut frames = std::mem::take(&mut self.frames_scratch);
         for _round in 0..8 {
-            let frames = self.nodes[node].host.take_frames();
+            debug_assert!(frames.is_empty());
+            self.nodes[node].host.take_frames_into(&mut frames);
             if frames.is_empty() {
                 break;
             }
-            for (ifx, bytes) in frames {
+            for (ifx, bytes) in frames.drain(..) {
                 self.dispatch_host_frame(now, node, ifx, bytes);
             }
         }
+        self.frames_scratch = frames;
 
         // 5. Schedule the next poll.
         self.schedule_poll(node, self.node_next_wake(node));
@@ -1233,7 +1403,7 @@ impl World {
             return; // an earlier-or-equal poll is already pending
         }
         self.nodes[node].scheduled_poll = at;
-        self.schedule_event(at, Event::NodePoll { node });
+        self.schedule_event(at, Event::NodePoll { node: node as u32 });
     }
 
     /// Schedule an immediate poll of a node — required after mutating a

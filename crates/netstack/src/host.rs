@@ -735,6 +735,14 @@ impl Host {
         std::mem::take(&mut self.out)
     }
 
+    /// Like [`Self::take_frames`], but swaps the queued frames into
+    /// `sink` (which must be empty) so a pooled buffer can be reused
+    /// across polls without allocating.
+    pub fn take_frames_into(&mut self, sink: &mut Vec<(IfIndex, Bytes)>) {
+        debug_assert!(sink.is_empty(), "take_frames_into requires an empty sink");
+        std::mem::swap(&mut self.out, sink);
+    }
+
     /// Take pending events.
     pub fn take_events(&mut self) -> Vec<HostEvent> {
         std::mem::take(&mut self.events)

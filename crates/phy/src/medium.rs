@@ -29,21 +29,27 @@
 //!   `begin_tx` stores a sparse `(radio, dBm)` list covering only radios
 //!   inside the decode/CCA horizon ([`crate::grid`],
 //!   [`propagation::max_range_m`]);
-//! * in-flight transmissions are indexed **by channel** (only channels
-//!   within the 5-channel interaction span can exchange energy), **by
-//!   source** (the half-duplex check), and **by id** (O(1) completion
-//!   lookup).
+//! * in-flight transmissions live in a **generation-checked slab** (a
+//!   [`TxHandle`] resolves with a bounds check, no hashing) and are
+//!   indexed **by channel** (only channels within the 5-channel
+//!   interaction span can exchange energy) and **by source** (the
+//!   half-duplex check), both as dense slot vectors.
 //!
-//! The sparse path is bit-identical to the dense fill: culled radios are
-//! exactly those below the audible floor (they can neither decode nor
-//! trip CCA), interference from them is recomputed on demand from the
-//! same begin-time geometry (mid-flight moves pin the begin-era sample
-//! into an override list), and interference sums run in the same
-//! ascending-id order. With `sigma > 0` the dense fill is kept as-is so
-//! the sequential registration-order RNG draws — and therefore every
-//! E1 shadowing result — stay byte-identical.
+//! The audible floor is a **uniform far-field cutoff** (PR 9): a signal
+//! below it can neither decode, nor trip CCA, nor contribute to an
+//! interference sum. The sparse path is bit-identical to the dense fill
+//! under that cutoff: a sparse row omits exactly the entries the dense
+//! path's explicit floor comparison rejects, mid-flight moves pin the
+//! begin-era sample into an override list (floor-checked like any other
+//! sample), and interference sums run in the same ascending-id order.
+//! The cutoff is also what makes city-scale interference tractable: a
+//! completion's interferer set is culled to transmitters whose audible
+//! disc can reach the candidate set at all (`plan_complete`), instead
+//! of recomputing provably sub-floor far-field power per pair. With
+//! `sigma > 0` the dense fill is kept as-is so the sequential
+//! registration-order RNG draws — and therefore every E1 shadowing
+//! result — stay byte-identical.
 
-use std::collections::HashMap;
 use std::sync::Arc;
 
 use bytes::Bytes;
@@ -60,9 +66,14 @@ use crate::propagation::{
 #[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
 pub struct RadioId(pub u32);
 
-/// Handle to an in-flight transmission.
+/// Handle to an in-flight transmission: a slab slot plus the slot's
+/// generation at allocation time. Both lookups and liveness checks are
+/// a bounds check + compare — no hashing anywhere on the per-frame path.
 #[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
-pub struct TxHandle(u64);
+pub struct TxHandle {
+    slot: u32,
+    gen: u32,
+}
 
 /// Tunable propagation / receiver parameters.
 #[derive(Clone, Debug)]
@@ -131,15 +142,27 @@ struct Transmission {
     start: SimTime,
     end: SimTime,
     bytes: Bytes,
-    /// Transmitter geometry frozen at begin time, so sub-floor received
-    /// power (interference-only) can be recomputed on demand exactly as
-    /// the dense fill would have sampled it.
+    /// Transmitter geometry frozen at begin time: the shard-routing key
+    /// for the completion event, and the anchor of the far-field
+    /// interferer cull in [`Medium::plan_complete`].
     src_pos: Pos,
     tx_power_dbm: f64,
     /// Radios registered later are treated as out of range.
     radios_at_start: u32,
+    /// Geometry epoch at begin time. While it still equals the medium's
+    /// current epoch, no radio has been added or moved since this tx
+    /// began — the precondition for the far-field interferer cull.
+    geom_epoch_at_start: u64,
     power: TxPower,
     completed: bool,
+}
+
+/// One transmission slab slot: the slot's reuse generation plus the
+/// resident transmission (`None` while free). The generation bump on
+/// free makes every outstanding [`TxHandle`] to the old occupant stale.
+struct TxSlot {
+    gen: u32,
+    tx: Option<Transmission>,
 }
 
 /// The precomputed outcome of completing one transmission: the pure,
@@ -161,8 +184,11 @@ pub struct TxPlan {
     deliveries: Vec<Delivery>,
     halfduplex_misses: u64,
     sinr_drops: u64,
-    /// `(channel, version)` over the completing tx's interaction span.
-    versions: Vec<(u8, u64)>,
+    /// `(channel, version)` over the completing tx's interaction span —
+    /// at most [`MAX_SPAN`] channels, held inline so a plan carries no
+    /// bookkeeping allocation.
+    versions: [(u8, u64); MAX_SPAN],
+    nversions: u8,
 }
 
 impl TxPlan {
@@ -187,6 +213,9 @@ pub struct Delivery {
     pub bitrate: Bitrate,
 }
 
+/// Widest possible interaction span: `channel ± (spacing - 1)` channels.
+const MAX_SPAN: usize = 2 * (CHANNEL_SPACING_NONOVERLAP as usize - 1) + 1;
+
 /// Channels whose transmissions can exchange energy with `channel`
 /// (within the 5-channel non-overlap spacing), clamped to 1..=14.
 fn interacting_channels(channel: u8) -> std::ops::RangeInclusive<usize> {
@@ -206,19 +235,28 @@ pub struct Medium {
     /// busy, so `begin_tx` need not store it.
     audible_floor_dbm: f64,
     radios: Vec<Radio>,
-    txs: Vec<Transmission>,
-    /// Transmission id → slot in `txs` (O(1) `complete_tx` lookup).
-    tx_index: HashMap<u64, usize>,
-    /// Retained tx ids bucketed by channel (index 1..=14; ascending id
-    /// within a bucket). Only buckets within the interaction span are
-    /// walked by the decode / CCA paths.
-    by_channel: [Vec<u64>; 15],
-    /// Retained tx ids by source radio index — the half-duplex check.
-    by_src: HashMap<u32, Vec<u64>>,
+    /// Transmission slab: a [`TxHandle`]'s slot indexes here directly.
+    /// `None` marks a free slot; the generation is bumped on every free
+    /// so stale handles can never alias a reused slot.
+    txs: Vec<TxSlot>,
+    free_tx: Vec<u32>,
+    /// Retained tx slots bucketed by channel (index 1..=14). Only
+    /// buckets within the interaction span are walked by the decode /
+    /// CCA paths; interferers are explicitly id-sorted before any float
+    /// sum, so bucket order itself carries no meaning.
+    by_channel: [Vec<u32>; 15],
+    /// Retained tx slots by source radio index — the half-duplex check.
+    /// Dense (one entry per radio, nearly all empty), no hashing.
+    by_src: Vec<Vec<u32>>,
     grid: SpatialGrid,
     cache: PathLossCache,
     /// Per-source audible rows, valid while `geom_epoch` is unchanged.
-    audible_rows: HashMap<u32, (u64, AudibleRow)>,
+    /// Dense, indexed by radio.
+    audible_rows: Vec<Option<(u64, AudibleRow)>>,
+    /// Scratch for the grid query in [`Self::audible_row`] (reused).
+    cand_scratch: Vec<u32>,
+    /// Scratch for the freed-source list in [`Self::prune`] (reused).
+    prune_src_scratch: Vec<u32>,
     /// Bumped whenever the radio set or any position changes.
     geom_epoch: u64,
     /// Per-channel mutation counters (index 1..=14), the conflict
@@ -253,12 +291,14 @@ impl Medium {
             audible_floor_dbm,
             radios: Vec::new(),
             txs: Vec::new(),
-            tx_index: HashMap::new(),
+            free_tx: Vec::new(),
             by_channel: std::array::from_fn(|_| Vec::new()),
-            by_src: HashMap::new(),
+            by_src: Vec::new(),
             grid: SpatialGrid::default(),
             cache: PathLossCache::default(),
-            audible_rows: HashMap::new(),
+            audible_rows: Vec::new(),
+            cand_scratch: Vec::new(),
+            prune_src_scratch: Vec::new(),
             geom_epoch: 0,
             channel_versions: [0; 15],
             row_reuses: 0,
@@ -288,6 +328,8 @@ impl Medium {
             pos_epoch: 0,
         });
         self.grid.insert(idx, pos);
+        self.by_src.push(Vec::new());
+        self.audible_rows.push(None);
         self.geom_epoch += 1;
         self.channel_versions[channel as usize] += 1;
         RadioId(idx)
@@ -305,9 +347,14 @@ impl Medium {
         // Pin the begin-era sample into every retained sparse tx that
         // doesn't already cover this radio: it may still be read as
         // interference while the tx (or an overlapper) is in flight, and
-        // the dense fill would have sampled the pre-move geometry.
+        // the dense fill would have sampled the pre-move geometry. Pin
+        // even a sub-floor sample — `covered` must become true on the
+        // *first* move, or a second move would pin from intermediate
+        // geometry instead of begin-era geometry. Read-time floor
+        // comparisons reject sub-floor values on both paths identically.
         let (ref_loss, exponent) = (self.params.ref_loss_db, self.params.path_loss_exponent);
-        for t in &mut self.txs {
+        for s in &mut self.txs {
+            let Some(t) = s.tx.as_mut() else { continue };
             if id.0 >= t.radios_at_start || t.src == id {
                 continue;
             }
@@ -390,7 +437,7 @@ impl Medium {
     /// unchanged; rebuilt from the spatial grid + path-loss cache
     /// otherwise.
     fn audible_row(&mut self, src: u32, src_pos: Pos, tx_power_dbm: f64) -> AudibleRow {
-        if let Some((epoch, row)) = self.audible_rows.get(&src) {
+        if let Some((epoch, row)) = &self.audible_rows[src as usize] {
             if *epoch == self.geom_epoch {
                 self.row_reuses += 1;
                 return Arc::clone(row);
@@ -403,7 +450,8 @@ impl Medium {
             self.params.ref_loss_db,
             self.params.path_loss_exponent,
         );
-        let mut cand: Vec<u32> = Vec::new();
+        let mut cand = std::mem::take(&mut self.cand_scratch);
+        cand.clear();
         if range.is_finite() {
             // The pad only absorbs float rounding in the range solve;
             // membership is re-checked exactly below.
@@ -414,7 +462,7 @@ impl Medium {
         }
         let src_epoch = self.radios[src as usize].pos_epoch;
         let mut audible = Vec::with_capacity(cand.len());
-        for ri in cand {
+        for &ri in &cand {
             if ri == src {
                 continue;
             }
@@ -430,10 +478,10 @@ impl Medium {
                 audible.push((ri, p));
             }
         }
+        self.cand_scratch = cand;
         audible.sort_unstable_by_key(|e| e.0);
         let row = Arc::new(audible);
-        self.audible_rows
-            .insert(src, (self.geom_epoch, Arc::clone(&row)));
+        self.audible_rows[src as usize] = Some((self.geom_epoch, Arc::clone(&row)));
         row
     }
 
@@ -482,7 +530,7 @@ impl Medium {
         let id = self.next_tx_id;
         self.next_tx_id += 1;
         self.frames_sent += 1;
-        self.txs.push(Transmission {
+        let tx = Transmission {
             id,
             src,
             channel,
@@ -493,40 +541,44 @@ impl Medium {
             src_pos,
             tx_power_dbm: tx_power,
             radios_at_start: self.radios.len() as u32,
+            geom_epoch_at_start: self.geom_epoch,
             power,
             completed: false,
-        });
-        self.tx_index.insert(id, self.txs.len() - 1);
-        self.by_channel[channel as usize].push(id);
-        self.by_src.entry(src.0).or_default().push(id);
+        };
+        // Reuse a freed slab slot when one exists. Safe because prune
+        // removes freed slots from every bucket before returning, so a
+        // reused slot can never already sit in a channel/source bucket.
+        let slot = match self.free_tx.pop() {
+            Some(s) => {
+                self.txs[s as usize].tx = Some(tx);
+                s
+            }
+            None => {
+                self.txs.push(TxSlot {
+                    gen: 0,
+                    tx: Some(tx),
+                });
+                (self.txs.len() - 1) as u32
+            }
+        };
+        let gen = self.txs[slot as usize].gen;
+        self.by_channel[channel as usize].push(slot);
+        self.by_src[src.0 as usize].push(slot);
         // A new in-flight tx is a potential interferer / half-duplex
         // source for every pending completion within the interaction
         // span of its channel; their plans must be recomputed.
         self.channel_versions[channel as usize] += 1;
         self.prune(now);
-        (TxHandle(id), end)
+        (TxHandle { slot, gen }, end)
     }
 
-    /// Received power of `tx` at radio `ri` exactly as the begin-time
-    /// dense fill would have sampled it: stored entry when present,
-    /// otherwise (sparse, sub-floor, unmoved since begin — moves are
-    /// pinned as overrides by `set_pos`) recomputed from the frozen
-    /// transmitter geometry. `None` for radios registered mid-flight.
-    fn rx_power_at(&self, tx: &Transmission, ri: usize) -> Option<f64> {
-        if ri as u32 >= tx.radios_at_start {
-            return None;
-        }
-        match &tx.power {
-            TxPower::Dense(v) => v.get(ri).copied(),
-            TxPower::Sparse { .. } => Some(stored_rx_power_at(tx, ri).unwrap_or_else(|| {
-                tx.tx_power_dbm
-                    - path_loss_db(
-                        tx.src_pos.distance(self.radios[ri].pos),
-                        self.params.ref_loss_db,
-                        self.params.path_loss_exponent,
-                    )
-            })),
-        }
+    /// Resolve a handle against the slab, panicking on a stale or freed
+    /// slot exactly where the old id→slot map would have panicked.
+    #[inline]
+    fn tx_ref(&self, h: TxHandle) -> &Transmission {
+        let s = &self.txs[h.slot as usize];
+        assert_eq!(s.gen, h.gen, "unknown or pruned transmission");
+        s.tx.as_ref().expect("unknown or pruned transmission")
     }
 
     /// Complete a transmission, returning all successful deliveries. Must
@@ -546,55 +598,145 @@ impl Medium {
     /// mutating anything. `&self` only — the sharded loop calls this
     /// from the rayon pool for all completions in a lockstep window.
     pub fn plan_complete(&self, now: SimTime, handle: TxHandle) -> TxPlan {
-        let idx = *self
-            .tx_index
-            .get(&handle.0)
-            .expect("unknown or pruned transmission");
-        assert!(!self.txs[idx].completed, "complete_tx called twice");
-        assert_eq!(self.txs[idx].end, now, "complete_tx at wrong time");
-
-        // Copy the tx's scalar identity and refcount its payload so the
-        // candidate loop below can read other txs through `self` freely;
-        // the payload itself is never duplicated.
-        let tx = &self.txs[idx];
-        let (tx_id, tx_src, tx_channel, tx_bitrate) = (tx.id, tx.src, tx.channel, tx.bitrate);
-        let (tx_start, tx_end) = (tx.start, tx.end);
-        let tx_bytes = tx.bytes.clone();
-
-        // Candidate receivers: every begin-time radio for a dense fill,
-        // only the audible set for a sparse one. Both ascend by radio
-        // index, so delivery order matches the historical dense scan.
-        let candidates: Vec<(usize, f64)> = match &tx.power {
-            TxPower::Dense(v) => v.iter().enumerate().map(|(i, &p)| (i, p)).collect(),
-            TxPower::Sparse { audible, .. } => {
-                audible.iter().map(|&(i, p)| (i as usize, p)).collect()
-            }
-        };
+        let tx = self.tx_ref(handle);
+        assert!(!tx.completed, "complete_tx called twice");
+        assert_eq!(tx.end, now, "complete_tx at wrong time");
+        let tx_channel = tx.channel;
 
         // Time-overlapping txs on channels close enough to interact, in
         // ascending-id order — the order the historical full-backlog
         // scan summed interference in (float addition order is
-        // observable).
-        let mut interferers: Vec<usize> = Vec::new();
-        for ch in interacting_channels(tx_channel) {
-            for &oid in &self.by_channel[ch] {
-                if oid == tx_id {
-                    continue;
-                }
-                let slot = self.tx_index[&oid];
-                let o = &self.txs[slot];
-                if o.start < tx_end && tx_start < o.end {
-                    interferers.push(slot);
+        // observable). The slot list lives in a per-thread scratch
+        // buffer: plan_complete runs on the rayon pool in the sharded
+        // loop, so the scratch must not be shared medium state.
+        //
+        // Far-field cull: every candidate receiver of a sparse tx lies
+        // within the tx's audible radius of its (frozen) source, and a
+        // sparse interferer's stored samples cover only radios within
+        // *its* audible radius of *its* source. If those two discs
+        // cannot intersect, every (interferer, candidate) lookup is a
+        // guaranteed sub-floor miss — the interferer contributes
+        // nothing above the cutoff (§ uniform audible floor, see
+        // `scan_candidates`) and is skipped wholesale. Valid only while
+        // no radio has been added or moved since either tx began
+        // (`geom_epoch` guard): a mid-flight move re-pins samples as
+        // overrides, which the disc argument cannot see. In a city-scale
+        // world this one distance check removes ~99% of the interferer
+        // set per plan.
+        let cull_radius = (self.geom_epoch == tx.geom_epoch_at_start
+            && matches!(tx.power, TxPower::Sparse { .. }))
+        .then(|| {
+            max_range_m(
+                tx.tx_power_dbm,
+                self.audible_floor_dbm,
+                self.params.ref_loss_db,
+                self.params.path_loss_exponent,
+            )
+        })
+        .filter(|r| r.is_finite());
+        INTERF_SCRATCH.with(|cell| {
+            let mut interferers = cell.borrow_mut();
+            interferers.clear();
+            for ch in interacting_channels(tx_channel) {
+                for &oslot in &self.by_channel[ch] {
+                    if oslot == handle.slot {
+                        continue;
+                    }
+                    let o = self.txs[oslot as usize].tx.as_ref().unwrap();
+                    if o.start >= tx.end || tx.start >= o.end {
+                        continue;
+                    }
+                    if let Some(r_tx) = cull_radius {
+                        if self.geom_epoch == o.geom_epoch_at_start
+                            && matches!(o.power, TxPower::Sparse { .. })
+                        {
+                            let r_o = max_range_m(
+                                o.tx_power_dbm,
+                                self.audible_floor_dbm,
+                                self.params.ref_loss_db,
+                                self.params.path_loss_exponent,
+                            );
+                            // The pad mirrors the audible-row build's
+                            // rounding absorption; it only ever keeps an
+                            // interferer the exact check would drop.
+                            let reach = (r_tx + r_o) * (1.0 + 1e-9) + 1.0;
+                            if reach.is_finite() && o.src_pos.distance(tx.src_pos) > reach {
+                                continue;
+                            }
+                        }
+                    }
+                    interferers.push(oslot);
                 }
             }
-        }
-        interferers.sort_unstable_by_key(|&s| self.txs[s].id);
+            interferers.sort_unstable_by_key(|&s| self.txs[s as usize].tx.as_ref().unwrap().id);
 
-        let noise_mw = dbm_to_mw(self.params.noise_floor_dbm);
-        let mut out = Vec::new();
-        let mut halfduplex_misses = 0;
-        let mut sinr_drops = 0;
+            let noise_mw = dbm_to_mw(self.params.noise_floor_dbm);
+            let mut out = Vec::new();
+            let mut halfduplex_misses = 0;
+            let mut sinr_drops = 0;
 
+            // Candidate receivers: every begin-time radio for a dense
+            // fill, only the audible set for a sparse one. Both ascend
+            // by radio index, so delivery order matches the historical
+            // dense scan — and neither materializes a candidate list.
+            match &tx.power {
+                TxPower::Dense(v) => self.scan_candidates(
+                    v.iter().enumerate().map(|(i, &p)| (i, p)),
+                    tx,
+                    handle.slot,
+                    &interferers,
+                    noise_mw,
+                    &mut out,
+                    &mut halfduplex_misses,
+                    &mut sinr_drops,
+                ),
+                TxPower::Sparse { audible, .. } => self.scan_candidates(
+                    audible.iter().map(|&(i, p)| (i as usize, p)),
+                    tx,
+                    handle.slot,
+                    &interferers,
+                    noise_mw,
+                    &mut out,
+                    &mut halfduplex_misses,
+                    &mut sinr_drops,
+                ),
+            }
+
+            let mut versions = [(0u8, 0u64); MAX_SPAN];
+            let mut nversions = 0u8;
+            for ch in interacting_channels(tx_channel) {
+                versions[nversions as usize] = (ch as u8, self.channel_versions[ch]);
+                nversions += 1;
+            }
+            TxPlan {
+                handle,
+                end: now,
+                deliveries: out,
+                halfduplex_misses,
+                sinr_drops,
+                versions,
+                nversions,
+            }
+        })
+    }
+
+    /// The per-candidate decode loop of [`Self::plan_complete`], generic
+    /// over the (dense or sparse) candidate iterator so neither path
+    /// allocates a candidate list.
+    #[allow(clippy::too_many_arguments)]
+    fn scan_candidates<I: Iterator<Item = (usize, f64)>>(
+        &self,
+        candidates: I,
+        tx: &Transmission,
+        tx_slot: u32,
+        interferers: &[u32],
+        noise_mw: f64,
+        out: &mut Vec<Delivery>,
+        halfduplex_misses: &mut u64,
+        sinr_drops: &mut u64,
+    ) {
+        let (tx_src, tx_channel, tx_bitrate) = (tx.src, tx.channel, tx.bitrate);
+        let (tx_start, tx_end) = (tx.start, tx.end);
         for (ri, signal_dbm) in candidates {
             let radio = &self.radios[ri];
             let rid = RadioId(ri as u32);
@@ -606,23 +748,21 @@ impl Medium {
             }
             // Half-duplex: a radio that transmitted during any part of
             // our airtime heard nothing.
-            let was_transmitting = self.by_src.get(&rid.0).is_some_and(|own| {
-                own.iter().any(|&oid| {
-                    if oid == tx_id {
-                        return false;
-                    }
-                    let o = &self.txs[self.tx_index[&oid]];
-                    o.start < tx_end && tx_start < o.end
-                })
+            let was_transmitting = self.by_src[rid.0 as usize].iter().any(|&oslot| {
+                if oslot == tx_slot {
+                    return false;
+                }
+                let o = self.txs[oslot as usize].tx.as_ref().unwrap();
+                o.start < tx_end && tx_start < o.end
             });
             if was_transmitting {
-                halfduplex_misses += 1;
+                *halfduplex_misses += 1;
                 continue;
             }
             // Interference from every other overlapping transmission.
             let mut interf_mw = 0.0;
-            for &slot in &interferers {
-                let o = &self.txs[slot];
+            for &oslot in interferers {
+                let o = self.txs[oslot as usize].tx.as_ref().unwrap();
                 if o.src == rid {
                     continue;
                 }
@@ -630,32 +770,33 @@ impl Medium {
                 let Some(rej) = aci_rejection_db(offset) else {
                     continue;
                 };
-                if let Some(p) = self.rx_power_at(o, ri) {
-                    interf_mw += dbm_to_mw(p - rej);
+                // Uniform audible-floor cutoff (PR 9): power below the
+                // floor was already invisible to decode and CCA; it now
+                // contributes no interference either. The dense arm
+                // stores sub-floor samples, so the explicit comparison
+                // keeps the dense and sparse paths bit-identical: a
+                // sparse row omits exactly the entries the dense check
+                // rejects.
+                let Some(p) = stored_rx_power_at(o, ri) else {
+                    continue;
+                };
+                if p < self.audible_floor_dbm {
+                    continue;
                 }
+                interf_mw += dbm_to_mw(p - rej);
             }
             let sinr_db = signal_dbm - 10.0 * (noise_mw + interf_mw).log10();
             if sinr_db < tx_bitrate.sinr_threshold_db() {
-                sinr_drops += 1;
+                *sinr_drops += 1;
                 continue;
             }
             out.push(Delivery {
                 to: rid,
-                bytes: tx_bytes.clone(),
+                bytes: tx.bytes.clone(),
                 rssi_dbm: signal_dbm,
                 channel: tx_channel,
                 bitrate: tx_bitrate,
             });
-        }
-        TxPlan {
-            handle,
-            end: now,
-            deliveries: out,
-            halfduplex_misses,
-            sinr_drops,
-            versions: interacting_channels(tx_channel)
-                .map(|ch| (ch as u8, self.channel_versions[ch]))
-                .collect(),
         }
     }
 
@@ -663,7 +804,7 @@ impl Medium {
     /// compute right now? True while no mutation has touched any channel
     /// in the completing tx's interaction span since the plan was made.
     pub fn plan_is_current(&self, plan: &TxPlan) -> bool {
-        plan.versions
+        plan.versions[..plan.nversions as usize]
             .iter()
             .all(|&(ch, v)| self.channel_versions[ch as usize] == v)
     }
@@ -674,13 +815,12 @@ impl Medium {
     /// current — [`Self::plan_is_current`] — or replan; this method
     /// trusts it.
     pub fn commit_complete(&mut self, plan: TxPlan) -> Vec<Delivery> {
-        let idx = *self
-            .tx_index
-            .get(&plan.handle.0)
-            .expect("unknown or pruned transmission");
-        assert!(!self.txs[idx].completed, "complete_tx called twice");
-        assert_eq!(self.txs[idx].end, plan.end, "commit at wrong time");
-        self.txs[idx].completed = true;
+        let s = &mut self.txs[plan.handle.slot as usize];
+        assert_eq!(s.gen, plan.handle.gen, "unknown or pruned transmission");
+        let t = s.tx.as_mut().expect("unknown or pruned transmission");
+        assert!(!t.completed, "complete_tx called twice");
+        assert_eq!(t.end, plan.end, "commit at wrong time");
+        t.completed = true;
         self.halfduplex_misses += plan.halfduplex_misses;
         self.sinr_drops += plan.sinr_drops;
         plan.deliveries
@@ -694,8 +834,8 @@ impl Medium {
     pub fn channel_busy(&self, now: SimTime, radio: RadioId) -> bool {
         let r = &self.radios[radio.0 as usize];
         for ch in interacting_channels(r.channel) {
-            for &oid in &self.by_channel[ch] {
-                let t = &self.txs[self.tx_index[&oid]];
+            for &oslot in &self.by_channel[ch] {
+                let t = self.txs[oslot as usize].tx.as_ref().unwrap();
                 if t.start <= now && now < t.end && t.src != radio {
                     let Some(rej) = aci_rejection_db(t.channel.abs_diff(r.channel)) else {
                         continue;
@@ -719,7 +859,7 @@ impl Medium {
     /// Source position of an in-flight transmission, frozen at begin
     /// time — the shard-routing key for its completion event.
     pub fn tx_src_pos(&self, handle: TxHandle) -> Pos {
-        self.txs[self.tx_index[&handle.0]].src_pos
+        self.tx_ref(handle).src_pos
     }
 
     /// Conservative audible radius of an in-flight transmission: the
@@ -728,7 +868,7 @@ impl Medium {
     /// Used with [`crate::RegionMap::disc_crosses_region`] to classify
     /// boundary events.
     pub fn tx_audible_range_m(&self, handle: TxHandle) -> f64 {
-        let t = &self.txs[self.tx_index[&handle.0]];
+        let t = self.tx_ref(handle);
         max_range_m(
             t.tx_power_dbm,
             self.audible_floor_dbm,
@@ -741,7 +881,7 @@ impl Medium {
     /// ones that still overlap an in-flight frame) — the working-set the
     /// `complete_tx` scans walk. Exposed for tests and benches.
     pub fn tx_backlog(&self) -> usize {
-        self.txs.len()
+        self.txs.iter().filter(|s| s.tx.is_some()).count()
     }
 
     /// Total `(radio, dBm)` received-power entries stored across all
@@ -751,6 +891,7 @@ impl Medium {
     pub fn power_map_entries(&self) -> usize {
         self.txs
             .iter()
+            .filter_map(|s| s.tx.as_ref())
             .map(|t| match &t.power {
                 TxPower::Dense(v) => v.len(),
                 TxPower::Sparse { audible, overrides } => audible.len() + overrides.len(),
@@ -792,33 +933,53 @@ impl Medium {
         let horizon = self
             .txs
             .iter()
+            .filter_map(|s| s.tx.as_ref())
             .filter(|t| !t.completed)
             .map(|t| t.start)
             .min()
             .unwrap_or(now);
-        let before = self.txs.len();
-        self.txs.retain(|t| !t.completed || t.end > horizon);
-        if self.txs.len() != before {
-            self.reindex();
+        // Free prunable slots, remembering which channel buckets and
+        // source vecs they sat in — only those get swept, never the
+        // whole (O(radios)) bucket table.
+        let mut touched_ch: u16 = 0;
+        let mut srcs = std::mem::take(&mut self.prune_src_scratch);
+        srcs.clear();
+        for (i, s) in self.txs.iter_mut().enumerate() {
+            let prunable =
+                s.tx.as_ref()
+                    .is_some_and(|t| t.completed && t.end <= horizon);
+            if prunable {
+                let t = s.tx.take().unwrap();
+                s.gen = s.gen.wrapping_add(1);
+                touched_ch |= 1 << t.channel;
+                srcs.push(t.src.0);
+                self.free_tx.push(i as u32);
+            }
         }
+        if touched_ch != 0 {
+            // A freed slot has `tx == None` and cannot have been reused
+            // yet (reuse only happens in a later begin_tx, after this
+            // sweep), so is_some() exactly separates live from freed.
+            // Bucket order is preserved for the survivors.
+            let txs = &self.txs;
+            for ch in 1..=14usize {
+                if touched_ch & (1 << ch) != 0 {
+                    self.by_channel[ch].retain(|&slot| txs[slot as usize].tx.is_some());
+                }
+            }
+            for &src in &srcs {
+                self.by_src[src as usize].retain(|&slot| txs[slot as usize].tx.is_some());
+            }
+        }
+        self.prune_src_scratch = srcs;
     }
+}
 
-    /// Rebuild the id→slot map and the channel / source buckets after
-    /// `retain` shifted slots. The backlog is O(in-flight), so this is
-    /// cheap; ids stay ascending within every bucket because `retain`
-    /// preserves order.
-    fn reindex(&mut self) {
-        self.tx_index.clear();
-        for bucket in &mut self.by_channel {
-            bucket.clear();
-        }
-        self.by_src.clear();
-        for (slot, t) in self.txs.iter().enumerate() {
-            self.tx_index.insert(t.id, slot);
-            self.by_channel[t.channel as usize].push(t.id);
-            self.by_src.entry(t.src.0).or_default().push(t.id);
-        }
-    }
+thread_local! {
+    /// Per-thread interferer-slot scratch for [`Medium::plan_complete`]
+    /// (which runs concurrently on the rayon pool in the sharded loop).
+    static INTERF_SCRATCH: std::cell::RefCell<Vec<u32>> =
+        const { std::cell::RefCell::new(Vec::new()) };
 }
 
 /// The power sample `tx` stored for radio `ri`, if any. A sparse miss

@@ -21,6 +21,7 @@
 //! whose merged dispatch order is provably identical to a single
 //! [`EventQueue`].
 
+pub mod profile;
 pub mod queue;
 pub mod rng;
 pub mod shard;

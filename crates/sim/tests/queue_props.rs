@@ -8,12 +8,87 @@
 //!    foundation the sharded world loop's bit-identity rests on.
 //! 2. **Cancel-storm accounting** — under heavy schedule/cancel/pop
 //!    interleaving (the deauth-flood shape), `len()`, tombstone
-//!    accounting and `dispatched()` never drift from a reference model.
+//!    accounting and `dispatched()` never drift from a reference model,
+//!    and tombstone compaction keeps resident wheel nodes bounded.
+//! 3. **Wheel-vs-heap differential** — the timer-wheel queue pops the
+//!    exact sequence a straightforward `BinaryHeap<(time, seq)>` does,
+//!    for arbitrary `schedule` / `schedule_at_seq` / `cancel` /
+//!    `pop_until` interleavings.
 
 use proptest::collection;
 use proptest::prelude::*;
 use rogue_sim::{EventQueue, ShardedQueue, SimDuration, SimTime};
-use std::collections::BTreeMap;
+use std::cmp::Reverse;
+use std::collections::{BTreeMap, BinaryHeap, HashMap};
+
+/// Reference queue: the shape this repo used before the timer wheel —
+/// a binary heap ordered by `(time, seq)` plus a liveness map for
+/// cancellation. Deliberately naive; its pop order *defines* what the
+/// wheel must reproduce.
+struct RefQueue<E> {
+    heap: BinaryHeap<Reverse<(SimTime, u64)>>,
+    live: HashMap<u64, (SimTime, E)>,
+    now: SimTime,
+    next_seq: u64,
+    dispatched: u64,
+}
+
+impl<E> RefQueue<E> {
+    fn new() -> Self {
+        RefQueue {
+            heap: BinaryHeap::new(),
+            live: HashMap::new(),
+            now: SimTime::ZERO,
+            next_seq: 0,
+            dispatched: 0,
+        }
+    }
+
+    fn schedule(&mut self, at: SimTime, ev: E) -> u64 {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(Reverse((at, seq)));
+        self.live.insert(seq, (at, ev));
+        seq
+    }
+
+    fn schedule_at_seq(&mut self, at: SimTime, seq: u64, ev: E) {
+        self.next_seq = self.next_seq.max(seq + 1);
+        self.heap.push(Reverse((at, seq)));
+        self.live.insert(seq, (at, ev));
+    }
+
+    fn cancel(&mut self, seq: u64) -> bool {
+        self.live.remove(&seq).is_some()
+    }
+
+    /// Earliest live fire time (skims cancelled heap tombstones).
+    fn peek_time(&mut self) -> Option<SimTime> {
+        while let Some(&Reverse((t, s))) = self.heap.peek() {
+            if self.live.contains_key(&s) {
+                return Some(t);
+            }
+            self.heap.pop();
+        }
+        None
+    }
+
+    fn pop(&mut self) -> Option<(SimTime, E)> {
+        self.peek_time()?;
+        let Reverse((t, s)) = self.heap.pop().expect("peeked");
+        let (_, ev) = self.live.remove(&s).expect("peeked live");
+        self.now = t;
+        self.dispatched += 1;
+        Some((t, ev))
+    }
+
+    fn pop_until(&mut self, deadline: SimTime) -> Option<(SimTime, E)> {
+        match self.peek_time() {
+            Some(t) if t <= deadline => self.pop(),
+            _ => None,
+        }
+    }
+}
 
 /// Decoded queue operation. `word` is raw proptest entropy.
 enum Op {
@@ -160,6 +235,81 @@ proptest! {
             }
             prop_assert_eq!(q.len(), model.len(), "len drifted from model");
             prop_assert_eq!(q.dispatched(), expected_dispatched, "dispatch count drifted");
+            // Tombstone compaction bound: resident wheel nodes may lag
+            // live events (lazy cancellation), but never by more than
+            // len() stale nodes plus the compaction floor.
+            prop_assert!(
+                q.resident() <= 2 * q.len() + 64,
+                "tombstones unbounded: resident {} vs len {}",
+                q.resident(),
+                q.len()
+            );
+        }
+    }
+
+    /// Differential test: the timer-wheel queue against [`RefQueue`],
+    /// the naive BinaryHeap it replaced. Every schedule (auto-seq and
+    /// explicit `schedule_at_seq`), cancel outcome, pop result, and the
+    /// len/now/dispatched counters must agree at every step.
+    #[test]
+    fn wheel_matches_reference_binaryheap(words in collection::vec(any::<u64>(), 1..500)) {
+        let mut q: EventQueue<u64> = EventQueue::new();
+        let mut r: RefQueue<u64> = RefQueue::new();
+        let mut ids: Vec<(rogue_sim::queue::EventId, u64)> = Vec::new();
+        for (i, &word) in words.iter().enumerate() {
+            match decode(word) {
+                Op::Schedule { delay_ms, shard_salt } => {
+                    let at = q.now() + SimDuration::from_millis(delay_ms);
+                    if shard_salt % 5 == 0 {
+                        // Explicit-seq path (the restore/replay API):
+                        // unique seqs far above the auto range, so they
+                        // sort after auto-scheduled events at the same
+                        // instant — both queues must agree on that.
+                        let seq = 1_000_000 + i as u64;
+                        let id = q.schedule_at_seq(at, seq, i as u64);
+                        r.schedule_at_seq(at, seq, i as u64);
+                        ids.push((id, seq));
+                    } else {
+                        let id = q.schedule(at, i as u64);
+                        let seq = r.schedule(at, i as u64);
+                        ids.push((id, seq));
+                    }
+                }
+                Op::Cancel { pick } => {
+                    if !ids.is_empty() {
+                        let idx = (pick as usize) % ids.len();
+                        let (id, seq) = ids[idx];
+                        prop_assert_eq!(
+                            q.cancel(id),
+                            r.cancel(seq),
+                            "cancel outcome diverged from reference"
+                        );
+                    }
+                }
+                Op::Pop => {
+                    prop_assert_eq!(q.pop(), r.pop(), "pop diverged from reference");
+                }
+                Op::PopUntil { horizon_ms } => {
+                    let deadline = q.now() + SimDuration::from_millis(horizon_ms);
+                    prop_assert_eq!(
+                        q.pop_until(deadline),
+                        r.pop_until(deadline),
+                        "pop_until diverged from reference"
+                    );
+                }
+            }
+            prop_assert_eq!(q.len(), r.live.len());
+            prop_assert_eq!(q.now(), r.now);
+            prop_assert_eq!(q.dispatched(), r.dispatched);
+        }
+        // Drain both to exhaustion: tail order must match too.
+        loop {
+            let a = q.pop();
+            let b = r.pop();
+            prop_assert_eq!(&a, &b, "drain diverged from reference");
+            if a.is_none() {
+                break;
+            }
         }
     }
 }
