@@ -12,13 +12,26 @@ use rogue_dot11::output::MacOutput;
 use rogue_sim::SimTime;
 
 /// A raw-frame injection schedule.
-pub trait FrameInjector {
+///
+/// `Send` because the world's parallel burst dispatcher may poll
+/// injectors from a rayon worker thread (each node is still owned by
+/// exactly one worker at a time).
+pub trait FrameInjector: Send {
     /// Earliest instant this injector needs a poll
     /// ([`SimTime::FOREVER`] when done).
     fn next_wake(&self) -> SimTime;
 
     /// Emit every frame due at or before `now`.
     fn poll(&mut self, now: SimTime, out: &mut Vec<MacOutput>);
+
+    /// Could a `poll` ever emit [`MacOutput::SetChannel`]? The world's
+    /// parallel burst dispatcher treats a node whose injector may
+    /// retune as a hazard and serializes the rest of the burst behind
+    /// it, so keep this `false` (the default is the conservative
+    /// `true`) whenever the injector transmits on a fixed channel.
+    fn may_retune(&self) -> bool {
+        true
+    }
 }
 
 impl FrameInjector for crate::DeauthFlooder {
@@ -28,5 +41,9 @@ impl FrameInjector for crate::DeauthFlooder {
 
     fn poll(&mut self, now: SimTime, out: &mut Vec<MacOutput>) {
         crate::DeauthFlooder::poll(self, now, out)
+    }
+
+    fn may_retune(&self) -> bool {
+        false // emits only deauth Tx on the victim channel
     }
 }

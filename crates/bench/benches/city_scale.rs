@@ -156,6 +156,16 @@ fn run(side: usize, shards: usize, horizon: SimTime, seed: Seed) -> Mode {
 /// Render a profiler snapshot as a JSON object: per-phase and per-kind
 /// `{ns, count}` rows plus the measured probe overhead (the acceptance
 /// budget is overhead_permille ≤ 20, i.e. ≤ 2 % of dispatch time).
+///
+/// Sharded runs also carry `per_shard` — one row set per queue shard,
+/// covering the work whose owning shard is known. All `ns` figures are
+/// *cumulative worker time*: on a multi-thread pool the `deliver`,
+/// `poll` and `medium_plan` rows sum time across rayon workers and can
+/// exceed the run's wall clock. `exec_wall` is the exception — it is
+/// wall time of the parallel exec regions measured from the
+/// coordinating thread, so `exec_wall / (deliver + poll + medium_plan)`
+/// reads directly as parallel efficiency (1.0 = no speedup, 1/N =
+/// perfect N-way). EXPERIMENTS.md walks through a recorded example.
 fn profile_json(p: &rogue_sim::profile::Snapshot) -> String {
     let row_set = |rows: &[(&'static str, u64, u64)]| -> String {
         rows.iter()
@@ -163,13 +173,21 @@ fn profile_json(p: &rogue_sim::profile::Snapshot) -> String {
             .collect::<Vec<_>>()
             .join(", ")
     };
+    let per_shard = p
+        .per_shard
+        .iter()
+        .enumerate()
+        .map(|(s, rows)| format!("\"shard{s}\": {{{}}}", row_set(rows)))
+        .collect::<Vec<_>>()
+        .join(", ");
     format!(
         concat!(
-            "{{\"phases\": {{{}}}, \"kinds\": {{{}}}, ",
+            "{{\"phases\": {{{}}}, \"kinds\": {{{}}}, \"per_shard\": {{{}}}, ",
             "\"overhead_ns\": {}, \"dispatch_ns\": {}, \"overhead_permille\": {}}}"
         ),
         row_set(&p.phases),
         row_set(&p.kinds),
+        per_shard,
         p.overhead_ns,
         p.dispatch_ns,
         p.overhead_permille(),
@@ -203,12 +221,14 @@ fn write_json(path: &std::path::Path, radios: usize, horizon_ms: u64, modes: &[M
             "{{\n  \"bench\": \"city_scale\",\n",
             "  \"radios\": {},\n  \"pitch_m\": {},\n",
             "  \"sim_horizon_ms\": {},\n  \"host_threads\": {},\n",
+            "  \"host_cpus\": {},\n",
             "  \"results\": [\n{}\n  ]\n}}\n"
         ),
         radios,
         PITCH_M,
         horizon_ms,
         rayon::current_num_threads(),
+        std::thread::available_parallelism().map_or(1, |n| n.get()),
         rows.join(",\n")
     );
     std::fs::write(path, json).expect("write BENCH_city_scale.json");
@@ -254,7 +274,7 @@ fn main() {
     );
 
     let mut modes = vec![serial];
-    let shard_counts: &[usize] = if smoke { &[2] } else { &[2, 8] };
+    let shard_counts: &[usize] = &[2, 8];
     for &shards in shard_counts {
         let m = run(side, shards, horizon, seed);
         // The gate: no number is reported unless the sharded trace is

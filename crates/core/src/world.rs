@@ -33,9 +33,10 @@ use rogue_dot11::sta::{StaMac, StaState};
 use rogue_dot11::{ApConfig, MacAddr, StaConfig};
 use rogue_netstack::ethernet::EthFrame;
 use rogue_netstack::{Host, IfIndex, Ipv4Addr};
-use rogue_phy::{Medium, MediumParams, Pos, RadioId, RegionMap, TxHandle, TxPlan};
+use rogue_phy::{Bitrate, Medium, MediumParams, Pos, RadioId, RegionMap, TxHandle, TxPlan};
 use rogue_services::apps::{App, AppEvent};
 use rogue_sim::profile::{self, Phase, Profiler};
+use rogue_sim::queue::EventId;
 use rogue_sim::trace::Metrics;
 use rogue_sim::{Seed, ShardedQueue, SimDuration, SimRng, SimTime};
 use rogue_vpn::{VpnClient, VpnServer};
@@ -103,6 +104,8 @@ const PROF_PHASE_KEYS: [&str; rogue_sim::profile::NUM_PHASES] = [
     "sim.prof.medium_commit_ns",
     "sim.prof.deliver_ns",
     "sim.prof.poll_ns",
+    "sim.prof.op_commit_ns",
+    "sim.prof.exec_wall_ns",
 ];
 
 /// `sim.prof.*` metric keys for the per-event-kind nanosecond totals,
@@ -162,6 +165,371 @@ struct Node {
     wired_monitor: Option<WiredMonitor>,
     wire_tap: Option<WireTap>,
     scheduled_poll: SimTime,
+    /// Queue entry of the pending `NodePoll`, kept so rescheduling an
+    /// *earlier* poll (or a `kick`) can cancel the outstanding one
+    /// instead of leaving a redundant entry behind. Invariant: `Some`
+    /// exactly while `scheduled_poll != FOREVER`, and the entry fires at
+    /// `scheduled_poll`.
+    poll_event: Option<(usize, EventId)>,
+}
+
+/// A deferred shared-state effect produced by node-local event work.
+///
+/// Dispatching an event splits into two halves: *node work* (MAC state
+/// machines, the IP stack, apps — everything owned by one [`Node`]) and
+/// *ops* — every effect that touches state shared across nodes: medium
+/// mutations, queue inserts, switch forwarding, metrics, the event
+/// logs. Node work emits ops in exactly the order the old inline code
+/// performed the mutations, so committing ops in emission order
+/// reproduces the serial mutation sequence — sequence-number
+/// assignment, RNG draws, `mac_events` order — byte for byte. That is
+/// the whole bit-identity argument for the parallel dispatcher (DESIGN
+/// §17): node work can run on any thread in any interleaving because
+/// everything it touches is node-local, and the commit point replays
+/// the shared-state effects in canonical `(time, seq)` event order.
+enum Op {
+    /// Begin transmitting on `radio`; schedules the completion event.
+    BeginTx {
+        radio: RadioId,
+        bytes: Bytes,
+        bitrate: Bitrate,
+    },
+    /// Retune `radio`.
+    SetChannel { radio: RadioId, channel: u8 },
+    /// Inject a frame into switch `sw` at `in_port`. Loss/jitter RNG
+    /// draws happen at commit, keeping the world-RNG call sequence
+    /// identical to the serial loop's.
+    SwitchTx { sw: u32, in_port: u32, bytes: Bytes },
+    /// The node's pending poll entry fired: clear the bookkeeping so a
+    /// later `SchedulePoll` in the same event passes its gate.
+    PollFired { node: u32 },
+    /// (Re)schedule the node's next poll; the earlier-poll gate is
+    /// evaluated at commit, against whatever preceding ops left
+    /// `scheduled_poll` at.
+    SchedulePoll { node: u32, wake: SimTime },
+    /// Record a MAC milestone (metrics counter + the `mac_events` log).
+    Mac { node: u32, ev: MacEvent },
+    /// Record an application milestone.
+    App { node: u32, ev: AppEvent },
+}
+
+/// Pooled buffers for node-local event work — per-thread in the
+/// parallel dispatcher, a single pooled instance in the serial loop.
+#[derive(Default)]
+struct NodeScratch {
+    mac_outs: Vec<MacOutput>,
+    app_events: Vec<AppEvent>,
+    frames: Vec<(IfIndex, Bytes)>,
+}
+
+/// One node's view of an event dispatch: mutable access to the node
+/// itself plus the op buffer collecting its deferred shared-state
+/// effects. Everything reachable from here is node-local by
+/// construction, which is what makes a `NodeCtx` safe to drive from a
+/// rayon worker while other workers drive other nodes.
+struct NodeCtx<'a> {
+    now: SimTime,
+    idx: usize,
+    node: &'a mut Node,
+    ops: &'a mut Vec<Op>,
+    scratch: &'a mut NodeScratch,
+}
+
+impl NodeCtx<'_> {
+    /// Deliver decoded PHY bytes to one of the node's radios.
+    fn receive_on_radio(&mut self, radio: usize, bytes: &Bytes, rssi: f64, channel: u8) {
+        let mut outs = std::mem::take(&mut self.scratch.mac_outs);
+        debug_assert!(outs.is_empty());
+        match &mut self.node.radios[radio].role {
+            RadioRole::Sta { mac, .. } => mac.on_receive(self.now, bytes, rssi, channel, &mut outs),
+            RadioRole::ApLocal { mac, .. } | RadioRole::ApBridge { mac, .. } => {
+                mac.on_receive(self.now, bytes, rssi, channel, &mut outs)
+            }
+            RadioRole::Monitor { sniffer } => sniffer.on_receive(self.now, bytes, rssi, channel),
+            RadioRole::Injector { .. } => {}
+        }
+        self.process_mac_outputs(radio, &mut outs);
+        self.scratch.mac_outs = outs;
+    }
+
+    /// Drain a batch of MAC outputs into node-local effects and ops.
+    fn process_mac_outputs(&mut self, radio: usize, outs: &mut Vec<MacOutput>) {
+        for out in outs.drain(..) {
+            match out {
+                MacOutput::Tx { bytes, bitrate } => {
+                    let radio = self.node.radios[radio].radio;
+                    self.ops.push(Op::BeginTx {
+                        radio,
+                        bytes,
+                        bitrate,
+                    });
+                }
+                MacOutput::SetChannel(ch) => {
+                    let radio = self.node.radios[radio].radio;
+                    self.ops.push(Op::SetChannel { radio, channel: ch });
+                }
+                MacOutput::DeliverData {
+                    src,
+                    dst,
+                    ethertype,
+                    payload,
+                } => {
+                    self.deliver_up(radio, src, dst, ethertype, payload);
+                }
+                MacOutput::Event(ev) => {
+                    self.ops.push(Op::Mac {
+                        node: self.idx as u32,
+                        ev,
+                    });
+                }
+            }
+        }
+    }
+
+    fn deliver_up(
+        &mut self,
+        radio: usize,
+        src: MacAddr,
+        dst: MacAddr,
+        ethertype: u16,
+        payload: Bytes,
+    ) {
+        enum Up {
+            Host(IfIndex),
+            Bridge(Option<(usize, usize)>),
+        }
+        let up = match &self.node.radios[radio].role {
+            RadioRole::Sta { iface, .. } | RadioRole::ApLocal { iface, .. } => Up::Host(*iface),
+            RadioRole::ApBridge { port, .. } => Up::Bridge(*port),
+            _ => return,
+        };
+        let frame = EthFrame::new(dst, src, ethertype, payload).encode();
+        match up {
+            Up::Host(iface) => {
+                self.node.host.on_link_rx(self.now, iface, &frame);
+            }
+            Up::Bridge(Some((sw, port))) => {
+                self.ops.push(Op::SwitchTx {
+                    sw: sw as u32,
+                    in_port: port as u32,
+                    bytes: frame,
+                });
+            }
+            Up::Bridge(None) => {}
+        }
+    }
+
+    /// A wired frame arriving at a bridge AP radio from its switch port.
+    fn bridge_wired_rx(&mut self, radio: usize, bytes: &Bytes) {
+        let Some(eth) = EthFrame::decode(bytes) else {
+            return;
+        };
+        if let RadioRole::ApBridge { mac, .. } = &mut self.node.radios[radio].role {
+            if eth.dst.is_multicast() || mac.is_associated(eth.dst) {
+                mac.send_data(self.now, eth.src, eth.dst, eth.ethertype, &eth.payload);
+            }
+        }
+    }
+
+    fn poll_node(&mut self) {
+        let now = self.now;
+        // 1. Stack timers.
+        self.node.host.poll(now);
+
+        // 2. MAC entities.
+        let radio_count = self.node.radios.len();
+        for r in 0..radio_count {
+            let mut outs = std::mem::take(&mut self.scratch.mac_outs);
+            debug_assert!(outs.is_empty());
+            match &mut self.node.radios[r].role {
+                RadioRole::Sta { mac, .. } => mac.poll(now, &mut outs),
+                RadioRole::ApLocal { mac, .. } | RadioRole::ApBridge { mac, .. } => {
+                    mac.poll(now, &mut outs)
+                }
+                RadioRole::Injector { injector } => injector.poll(now, &mut outs),
+                RadioRole::Monitor { .. } => {}
+            }
+            self.process_mac_outputs(r, &mut outs);
+            self.scratch.mac_outs = outs;
+        }
+
+        // 3. Applications (they own sockets on the host). The VPN tun
+        //    role runs FIRST: it decrypts freshly received records and
+        //    injects the inner packets, so ordinary apps observe
+        //    up-to-date socket state in the same poll (otherwise a
+        //    response arriving through the tunnel would not be seen
+        //    until the next timer, stalling inner TCP by a full RTO).
+        {
+            let mut events = std::mem::take(&mut self.scratch.app_events);
+            debug_assert!(events.is_empty());
+            let n = &mut *self.node;
+            if let Some(tun) = &mut n.tun {
+                match &mut tun.role {
+                    TunRole::Client(c) => c.poll(now, &mut n.host, &mut events),
+                    TunRole::Server(s) => s.poll(now, &mut n.host, &mut events),
+                }
+            }
+            for app in &mut n.apps {
+                app.poll(now, &mut n.host, &mut events);
+            }
+            for ev in events.drain(..) {
+                self.ops.push(Op::App {
+                    node: self.idx as u32,
+                    ev,
+                });
+            }
+            self.scratch.app_events = events;
+        }
+
+        // 4. Drain stack output, possibly several rounds (tun
+        //    encapsulation generates new transport frames).
+        let mut frames = std::mem::take(&mut self.scratch.frames);
+        for _round in 0..8 {
+            debug_assert!(frames.is_empty());
+            self.node.host.take_frames_into(&mut frames);
+            if frames.is_empty() {
+                break;
+            }
+            for (ifx, bytes) in frames.drain(..) {
+                self.dispatch_host_frame(ifx, bytes);
+            }
+        }
+        self.scratch.frames = frames;
+
+        // 5. Schedule the next poll.
+        let wake = node_next_wake(self.node);
+        if wake != SimTime::FOREVER {
+            self.ops.push(Op::SchedulePoll {
+                node: self.idx as u32,
+                wake,
+            });
+        }
+    }
+
+    fn dispatch_host_frame(&mut self, ifx: IfIndex, bytes: Bytes) {
+        // Tun device?
+        if let Some(tun) = &mut self.node.tun {
+            if tun.iface == ifx {
+                let mut binding = self.node.tun.take().expect("just checked");
+                match &mut binding.role {
+                    TunRole::Client(c) => c.consume_tun_frame(self.now, &mut self.node.host, &bytes),
+                    TunRole::Server(s) => s.consume_tun_frame(self.now, &mut self.node.host, &bytes),
+                }
+                self.node.tun = Some(binding);
+                return;
+            }
+        }
+        // Wired port?
+        if let Some(&(_, (sw, port))) = self.node.wired.iter().find(|(i, _)| *i == ifx) {
+            self.ops.push(Op::SwitchTx {
+                sw: sw as u32,
+                in_port: port as u32,
+                bytes,
+            });
+            return;
+        }
+        // Wireless NIC?
+        let radio = self
+            .node
+            .radios
+            .iter()
+            .position(|rb| match &rb.role {
+                RadioRole::Sta { iface, .. } | RadioRole::ApLocal { iface, .. } => *iface == ifx,
+                _ => false,
+            });
+        if let Some(r) = radio {
+            let Some(eth) = EthFrame::decode(&bytes) else {
+                return;
+            };
+            match &mut self.node.radios[r].role {
+                RadioRole::Sta { mac, .. } => {
+                    mac.send_data(self.now, eth.dst, eth.ethertype, &eth.payload);
+                }
+                RadioRole::ApLocal { mac, .. } => {
+                    mac.send_data(self.now, eth.src, eth.dst, eth.ethertype, &eth.payload);
+                }
+                _ => unreachable!(),
+            }
+        }
+    }
+}
+
+/// Earliest instant any of the node's components needs a poll.
+fn node_next_wake(n: &Node) -> SimTime {
+    let mut wake = n.host.next_wake();
+    for rb in &n.radios {
+        wake = wake.min(match &rb.role {
+            RadioRole::Sta { mac, .. } => mac.next_wake(),
+            RadioRole::ApLocal { mac, .. } | RadioRole::ApBridge { mac, .. } => mac.next_wake(),
+            RadioRole::Injector { injector } => injector.next_wake(),
+            RadioRole::Monitor { .. } => SimTime::FOREVER,
+        });
+    }
+    for app in &n.apps {
+        wake = wake.min(app.next_wake());
+    }
+    if let Some(tun) = &n.tun {
+        wake = wake.min(match &tun.role {
+            TunRole::Client(c) => c.next_wake(),
+            TunRole::Server(s) => s.next_wake(),
+        });
+    }
+    wake
+}
+
+/// One unit of node-local work inside a parallel burst: everything a
+/// single event does to a single node, with shared-state effects
+/// deferred as [`Op`]s. Tasks are built in canonical order — event
+/// order; within a `TxComplete`, deliveries in plan order, then
+/// first-touch polls — so committing task ops in task order replays
+/// the serial schedule exactly.
+enum TaskKind {
+    /// Deliver decoded PHY bytes to one radio (from a frozen plan).
+    Receive {
+        radio: u32,
+        bytes: Bytes,
+        rssi_dbm: f64,
+        channel: u8,
+    },
+    /// Post-delivery poll of a node touched by a `TxComplete`.
+    TouchPoll,
+    /// A `NodePoll` event: clears the poll handle (as its first op),
+    /// then polls.
+    PollEvent,
+    /// A `WireDeliver` event: host link-rx, then poll.
+    HostRx { iface: IfIndex, bytes: Bytes },
+    /// A `BridgeDeliver` event: bridge-AP wired-rx, then poll.
+    BridgeRx { radio: u32, bytes: Bytes },
+    /// A `TapDeliver` event: span-port copy into monitor + tap log.
+    Tap { bytes: Bytes },
+}
+
+struct Task {
+    /// Index of the owning event within the burst prefix.
+    event: u32,
+    /// The node whose state this task mutates — the partition key.
+    node: u32,
+    kind: TaskKind,
+}
+
+/// Raw-pointer view of the world's node slab, shared with the rayon
+/// pool during a parallel burst.
+///
+/// Safety: the dispatcher groups tasks into per-node chains and hands
+/// each chain to exactly one worker, so no two workers ever reach the
+/// same `Node`; the owning `Vec` is neither resized nor dropped while
+/// the view is live.
+#[derive(Clone, Copy)]
+struct NodesView {
+    ptr: *mut Node,
+}
+unsafe impl Send for NodesView {}
+unsafe impl Sync for NodesView {}
+
+thread_local! {
+    /// Per-worker pooled buffers for parallel burst execution.
+    static EXEC_SCRATCH: std::cell::RefCell<NodeScratch> =
+        std::cell::RefCell::new(NodeScratch::default());
 }
 
 /// Raw frames copied off a switch by a passive span port, in arrival
@@ -229,10 +597,13 @@ pub struct World {
     /// phase extrapolates from this at snapshot time.
     sched_count: u64,
     // Pooled scratch buffers, reused across every event dispatch.
-    mac_outs_scratch: Vec<MacOutput>,
-    app_events_scratch: Vec<AppEvent>,
+    ops_scratch: Vec<Op>,
+    node_scratch: NodeScratch,
     touched_scratch: Vec<usize>,
-    frames_scratch: Vec<(IfIndex, Bytes)>,
+    /// Node → chain index during parallel burst construction
+    /// (`u32::MAX` = unassigned); sized to the node count, entries
+    /// reset after every burst so no O(nodes) clear on the hot path.
+    chain_map: Vec<u32>,
     /// MAC protocol milestones, in order: (time, node, event).
     pub mac_events: Vec<(SimTime, NodeId, MacEvent)>,
     /// Application milestones, in order.
@@ -297,10 +668,10 @@ impl World {
             prof,
             prof_kinds,
             sched_count: 0,
-            mac_outs_scratch: Vec::new(),
-            app_events_scratch: Vec::new(),
+            ops_scratch: Vec::new(),
+            node_scratch: NodeScratch::default(),
             touched_scratch: Vec::new(),
-            frames_scratch: Vec::new(),
+            chain_map: Vec::new(),
             mac_events: Vec::new(),
             app_events: Vec::new(),
             metrics: Metrics::default(),
@@ -354,6 +725,7 @@ impl World {
             wired_monitor: None,
             wire_tap: None,
             scheduled_poll: SimTime::FOREVER,
+            poll_event: None,
         });
         NodeId(self.nodes.len() - 1)
     }
@@ -713,7 +1085,16 @@ impl World {
         self.ensure_region_map();
         for (at, seq, ev) in old.into_entries() {
             let shard = self.shard_for(&ev);
-            self.queue.schedule_at_seq(shard, at, seq, ev);
+            let poll_node = match &ev {
+                Event::NodePoll { node } => Some(*node as usize),
+                _ => None,
+            };
+            let id = self.queue.schedule_at_seq(shard, at, seq, ev);
+            // Pending-poll handles point into the old queue's shards;
+            // rebind them to the migrated entries.
+            if let Some(node) = poll_node {
+                self.nodes[node].poll_event = Some((shard, id));
+            }
         }
     }
 
@@ -759,7 +1140,7 @@ impl World {
     /// boundary crossings: schedules landing on a different shard than
     /// the one currently dispatching, plus completions whose audible
     /// disc spills across a stripe edge.
-    fn schedule_event(&mut self, at: SimTime, ev: Event) {
+    fn schedule_event(&mut self, at: SimTime, ev: Event) -> (usize, EventId) {
         let shard = self.shard_for(&ev);
         if self.queue.num_shards() > 1 {
             if shard != self.current_shard {
@@ -776,13 +1157,15 @@ impl World {
         // Probing every insert would dominate the cost being measured;
         // sample 1-in-64 and extrapolate at snapshot time.
         self.sched_count += 1;
-        if self.sched_count & 0x3F == 0 {
+        let id = if self.sched_count & 0x3F == 0 {
             let t0 = profile::now();
-            self.queue.schedule(shard, at, ev);
+            let id = self.queue.schedule(shard, at, ev);
             self.prof.record(Phase::QueueSchedule, t0);
+            id
         } else {
-            self.queue.schedule(shard, at, ev);
-        }
+            self.queue.schedule(shard, at, ev)
+        };
+        (shard, id)
     }
 
     /// Build the stripe partition from the current radio extent, once,
@@ -902,13 +1285,412 @@ impl World {
         snap
     }
 
+    /// Could dispatching `ev` emit a `SetChannel` — directly from a
+    /// receive, or from the poll that follows? A frozen completion plan
+    /// is only committed unvalidated when no hazard precedes it in the
+    /// burst: a same-instant `begin_tx` provably cannot perturb a
+    /// completion at the same instant (DESIGN §17), but a retune can.
+    fn event_may_retune(&self, now: SimTime, ev: &Event, plan: Option<&TxPlan>) -> bool {
+        match ev {
+            Event::TxComplete { .. } => {
+                let Some(plan) = plan else {
+                    return true; // unplanned completion: assume the worst
+                };
+                plan.deliveries().iter().any(|d| {
+                    let (node, radio) = self.radio_owner[d.to.0 as usize];
+                    let rx = match &self.nodes[node].radios[radio].role {
+                        RadioRole::Sta { mac, .. } => mac.rx_may_retune(&d.bytes, d.rssi_dbm),
+                        _ => false,
+                    };
+                    rx || self.node_poll_hazard(node, now)
+                })
+            }
+            Event::NodePoll { node } => self.node_poll_hazard(*node as usize, now),
+            Event::WireDeliver(f) => self.node_poll_hazard(f.node as usize, now),
+            Event::BridgeDeliver(f) => self.node_poll_hazard(f.node as usize, now),
+            Event::TapDeliver(_) => false,
+        }
+    }
+
+    /// Could polling `node` at `now` emit a `SetChannel`? Only STA MACs
+    /// retune (scan hops, roams, beacon-loss rescans) and injectors are
+    /// trusted to declare themselves via `FrameInjector::may_retune`.
+    fn node_poll_hazard(&self, node: usize, now: SimTime) -> bool {
+        self.nodes[node].radios.iter().any(|rb| match &rb.role {
+            RadioRole::Sta { mac, .. } => mac.poll_may_retune(now),
+            RadioRole::Injector { injector } => injector.may_retune(),
+            _ => false,
+        })
+    }
+
+    /// Execute one burst with genuinely parallel node work (DESIGN §17).
+    ///
+    /// Protocol: plan every completion against pre-burst state; split
+    /// the burst at the first completion preceded by a retune hazard;
+    /// run the prefix's node work as per-node task chains on the rayon
+    /// pool (shared-state effects deferred as ops); then commit at the
+    /// barrier in global `(time, seq)` order — frozen plan, then that
+    /// event's ops in emission order — which replays the serial
+    /// mutation schedule byte-for-byte. The suffix goes through the
+    /// classic serial validate-or-replan dispatch.
+    ///
+    /// Returns false (burst untouched) when the burst is too small to
+    /// pay for the pool round-trip.
+    fn dispatch_burst_parallel(
+        &mut self,
+        t: SimTime,
+        burst: &mut Vec<(Event, usize)>,
+        plans: &mut Vec<(TxHandle, TxPlan)>,
+    ) -> bool {
+        const MIN_PARALLEL_EVENTS: usize = 4;
+        if burst.len() < MIN_PARALLEL_EVENTS {
+            return false;
+        }
+        if self.chain_map.len() < self.nodes.len() {
+            self.chain_map.resize(self.nodes.len(), u32::MAX);
+        }
+
+        // Plan every completion in the burst against pre-burst state.
+        // Prefix plans are *frozen* (committed without validation);
+        // suffix plans feed the validate-or-replan path.
+        let mut plans_by_event: Vec<Option<TxPlan>> = burst.iter().map(|_| None).collect();
+        let todo: Vec<(usize, TxHandle)> = burst
+            .iter()
+            .enumerate()
+            .filter_map(|(i, (ev, _))| match ev {
+                Event::TxComplete { tx } => Some((i, *tx)),
+                _ => None,
+            })
+            .collect();
+        if !todo.is_empty() {
+            let t0 = profile::now();
+            let medium = &self.medium;
+            let computed: Vec<TxPlan> = if todo.len() > 1 {
+                todo.par_iter()
+                    .map(|&(_, tx)| medium.plan_complete(t, tx))
+                    .collect()
+            } else {
+                todo.iter()
+                    .map(|&(_, tx)| medium.plan_complete(t, tx))
+                    .collect()
+            };
+            self.sim_plans_parallel += computed.len() as u64;
+            for ((i, _), plan) in todo.iter().zip(computed) {
+                plans_by_event[*i] = Some(plan);
+            }
+            self.prof.record(Phase::MediumPlan, t0);
+        }
+
+        // Find the split: the first completion preceded by a retune
+        // hazard, and everything after it, must dispatch serially.
+        let mut split = burst.len();
+        let mut hazard = false;
+        for (i, (ev, _)) in burst.iter().enumerate() {
+            if hazard && matches!(ev, Event::TxComplete { .. }) {
+                split = i;
+                break;
+            }
+            if !hazard && self.event_may_retune(t, ev, plans_by_event[i].as_ref()) {
+                hazard = true;
+            }
+        }
+
+        // A trivial prefix, or one whose work all lands on a single
+        // node, cannot use the pool — demote to all-serial replay
+        // (which still reuses the speculative plans).
+        if split < MIN_PARALLEL_EVENTS {
+            split = 0;
+        } else {
+            let mut marks: Vec<usize> = Vec::new();
+            for (i, (ev, _)) in burst.iter().take(split).enumerate() {
+                match ev {
+                    Event::TxComplete { .. } => {
+                        let plan = plans_by_event[i].as_ref().expect("completion was planned");
+                        for d in plan.deliveries() {
+                            let (node, _) = self.radio_owner[d.to.0 as usize];
+                            if self.chain_map[node] == u32::MAX {
+                                self.chain_map[node] = 0;
+                                marks.push(node);
+                            }
+                        }
+                    }
+                    Event::NodePoll { node } => {
+                        let n = *node as usize;
+                        if self.chain_map[n] == u32::MAX {
+                            self.chain_map[n] = 0;
+                            marks.push(n);
+                        }
+                    }
+                    Event::WireDeliver(f) => {
+                        let n = f.node as usize;
+                        if self.chain_map[n] == u32::MAX {
+                            self.chain_map[n] = 0;
+                            marks.push(n);
+                        }
+                    }
+                    Event::BridgeDeliver(f) => {
+                        let n = f.node as usize;
+                        if self.chain_map[n] == u32::MAX {
+                            self.chain_map[n] = 0;
+                            marks.push(n);
+                        }
+                    }
+                    Event::TapDeliver(f) => {
+                        let n = f.node as usize;
+                        if self.chain_map[n] == u32::MAX {
+                            self.chain_map[n] = 0;
+                            marks.push(n);
+                        }
+                    }
+                }
+            }
+            let distinct = marks.len();
+            for n in marks {
+                self.chain_map[n] = u32::MAX;
+            }
+            if distinct < 2 {
+                split = 0;
+            }
+        }
+
+        if split > 0 {
+            // ---- Build the prefix task list in canonical order. ----
+            let mut tasks: Vec<Task> = Vec::with_capacity(split * 2);
+            // Per prefix event: (shard, kind index, end of its task range).
+            let mut ev_meta: Vec<(usize, usize, u32)> = Vec::with_capacity(split);
+            let mut touched = std::mem::take(&mut self.touched_scratch);
+            for (i, (ev, shard)) in burst.drain(..split).enumerate() {
+                let kind = self.prof_kinds[event_kind(&ev)];
+                let event = i as u32;
+                match ev {
+                    Event::TxComplete { .. } => {
+                        let plan = plans_by_event[i].as_ref().expect("completion was planned");
+                        touched.clear();
+                        for d in plan.deliveries() {
+                            let (node, radio) = self.radio_owner[d.to.0 as usize];
+                            tasks.push(Task {
+                                event,
+                                node: node as u32,
+                                kind: TaskKind::Receive {
+                                    radio: radio as u32,
+                                    bytes: d.bytes.clone(),
+                                    rssi_dbm: d.rssi_dbm,
+                                    channel: d.channel,
+                                },
+                            });
+                            if !touched.contains(&node) {
+                                touched.push(node);
+                            }
+                        }
+                        for &node in &touched {
+                            tasks.push(Task {
+                                event,
+                                node: node as u32,
+                                kind: TaskKind::TouchPoll,
+                            });
+                        }
+                    }
+                    Event::NodePoll { node } => tasks.push(Task {
+                        event,
+                        node,
+                        kind: TaskKind::PollEvent,
+                    }),
+                    Event::WireDeliver(f) => tasks.push(Task {
+                        event,
+                        node: f.node,
+                        kind: TaskKind::HostRx {
+                            iface: f.iface,
+                            bytes: f.bytes,
+                        },
+                    }),
+                    Event::BridgeDeliver(f) => tasks.push(Task {
+                        event,
+                        node: f.node,
+                        kind: TaskKind::BridgeRx {
+                            radio: f.radio,
+                            bytes: f.bytes,
+                        },
+                    }),
+                    Event::TapDeliver(f) => tasks.push(Task {
+                        event,
+                        node: f.node,
+                        kind: TaskKind::Tap { bytes: f.bytes },
+                    }),
+                }
+                ev_meta.push((shard, kind, tasks.len() as u32));
+            }
+            touched.clear();
+            self.touched_scratch = touched;
+
+            // Group tasks into per-node chains (execution units).
+            let mut chains: Vec<Vec<u32>> = Vec::new();
+            for (ti, task) in tasks.iter().enumerate() {
+                let ci = self.chain_map[task.node as usize];
+                if ci == u32::MAX {
+                    self.chain_map[task.node as usize] = chains.len() as u32;
+                    chains.push(vec![ti as u32]);
+                } else {
+                    chains[ci as usize].push(ti as u32);
+                }
+            }
+            for task in &tasks {
+                self.chain_map[task.node as usize] = u32::MAX;
+            }
+
+            // ---- Exec: run chains on the pool. Node work never
+            // touches shared state (the mutation-epoch check enforces
+            // the medium half of that claim).
+            let epoch = self.medium.mutation_epoch();
+            let view = NodesView {
+                ptr: self.nodes.as_mut_ptr(),
+            };
+            let tasks_ref = &tasks;
+            let wall0 = profile::now();
+            let results: Vec<Vec<(u32, u64, Vec<Op>)>> = chains
+                .par_iter()
+                .map(|chain| {
+                    // Capture the whole view (not its raw-ptr field) so
+                    // the Send/Sync promises on `NodesView` apply.
+                    let view = view;
+                    EXEC_SCRATCH.with(|cell| {
+                        let scratch = &mut *cell.borrow_mut();
+                        let mut out = Vec::with_capacity(chain.len());
+                        for &ti in chain {
+                            let task = &tasks_ref[ti as usize];
+                            // Safety: this chain is the unique owner of
+                            // `task.node` for the whole region.
+                            let node = unsafe { &mut *view.ptr.add(task.node as usize) };
+                            let mut ops = Vec::new();
+                            let c0 = profile::now();
+                            let mut cx = NodeCtx {
+                                now: t,
+                                idx: task.node as usize,
+                                node,
+                                ops: &mut ops,
+                                scratch,
+                            };
+                            match &task.kind {
+                                TaskKind::Receive {
+                                    radio,
+                                    bytes,
+                                    rssi_dbm,
+                                    channel,
+                                } => cx.receive_on_radio(*radio as usize, bytes, *rssi_dbm, *channel),
+                                TaskKind::TouchPoll => cx.poll_node(),
+                                TaskKind::PollEvent => {
+                                    cx.ops.push(Op::PollFired { node: task.node });
+                                    cx.poll_node();
+                                }
+                                TaskKind::HostRx { iface, bytes } => {
+                                    cx.node.host.on_link_rx(t, *iface, bytes);
+                                    cx.poll_node();
+                                }
+                                TaskKind::BridgeRx { radio, bytes } => {
+                                    cx.bridge_wired_rx(*radio as usize, bytes);
+                                    cx.poll_node();
+                                }
+                                TaskKind::Tap { bytes } => {
+                                    if let Some(mon) = &mut cx.node.wired_monitor {
+                                        mon.inspect(t, bytes);
+                                    }
+                                    if let Some(tap) = &mut cx.node.wire_tap {
+                                        tap.frames.push((t, bytes.clone()));
+                                    }
+                                }
+                            }
+                            let cycles = profile::now().wrapping_sub(c0);
+                            out.push((ti, cycles, ops));
+                        }
+                        out
+                    })
+                })
+                .collect();
+            self.prof.record(Phase::ExecWall, wall0);
+            debug_assert_eq!(
+                self.medium.mutation_epoch(),
+                epoch,
+                "parallel node work must not touch the medium"
+            );
+
+            // Merge per-task results back into canonical task order.
+            let ntasks = tasks.len();
+            let mut ops_by_task: Vec<Vec<Op>> = (0..ntasks).map(|_| Vec::new()).collect();
+            let mut cycles_by_task: Vec<u64> = vec![0; ntasks];
+            for chain in results {
+                for (ti, cycles, ops) in chain {
+                    cycles_by_task[ti as usize] = cycles;
+                    ops_by_task[ti as usize] = ops;
+                }
+            }
+            // Cumulative worker-time attribution, global and per-shard.
+            for (ti, task) in tasks.iter().enumerate() {
+                let phase = match task.kind {
+                    TaskKind::Receive { .. } => Phase::Deliver,
+                    _ => Phase::Poll,
+                };
+                let shard = ev_meta[task.event as usize].0;
+                self.prof.add_cycles(phase, cycles_by_task[ti], 1, 1);
+                self.prof
+                    .add_shard_cycles(shard, phase, cycles_by_task[ti], 1);
+            }
+
+            // ---- Barrier: commit in global (time, seq) order. ----
+            let mut task_cursor = 0usize;
+            for (i, &(shard, kind, task_end)) in ev_meta.iter().enumerate() {
+                self.current_shard = shard;
+                let c0 = profile::now();
+                if let Some(plan) = plans_by_event[i].take() {
+                    self.sim_plans_committed += 1;
+                    let t0 = profile::now();
+                    let _ = self.medium.commit_complete(plan);
+                    self.prof.record(Phase::MediumCommit, t0);
+                }
+                let t0 = profile::now();
+                let mut nops = 0u64;
+                while task_cursor < task_end as usize {
+                    nops += ops_by_task[task_cursor].len() as u64;
+                    for op in std::mem::take(&mut ops_by_task[task_cursor]) {
+                        self.commit_op(t, op);
+                    }
+                    task_cursor += 1;
+                }
+                if nops > 0 {
+                    self.prof.record_many(Phase::OpCommit, t0, nops);
+                }
+                let barrier_cycles = profile::now().wrapping_sub(c0);
+                let tstart = if i == 0 { 0 } else { ev_meta[i - 1].2 as usize };
+                let task_cycles: u64 = cycles_by_task[tstart..task_end as usize].iter().sum();
+                self.prof
+                    .add_kind_cycles(kind, barrier_cycles.wrapping_add(task_cycles), 1, 1);
+            }
+        }
+
+        // Suffix (the whole burst when split == 0): classic serial
+        // dispatch; speculative plans go through validate-or-replan.
+        for p in plans_by_event.into_iter().flatten() {
+            plans.push((p.handle(), p));
+        }
+        for (ev, shard) in burst.drain(..) {
+            self.current_shard = shard;
+            let kind = self.prof_kinds[event_kind(&ev)];
+            let t0 = profile::now();
+            self.dispatch_event(t, ev, plans);
+            self.prof.record_kind(kind, t0);
+        }
+        self.current_shard = 0;
+        debug_assert!(plans.is_empty(), "burst left unconsumed plans");
+        plans.clear();
+        true
+    }
+
     /// The sharded loop: conservative lockstep windows. Each window
     /// `[head, head + window]` first *plans* every pending `TxComplete`
     /// inside it in parallel on the rayon pool (`plan_complete` is pure,
     /// `&Medium`), then replays all events serially in global
     /// `(time, seq)` order, committing plans that survived conflict
     /// checks and transparently replanning the rest. See DESIGN.md §15
-    /// for the bit-identity argument.
+    /// for the bit-identity argument, and §17 for the parallel burst
+    /// executor layered on top.
     fn run_windows(&mut self, deadline: SimTime, plans: &mut Vec<(TxHandle, TxPlan)>) {
         // Scratch buffers reused across every burst in the run.
         let mut burst: Vec<(Event, usize)> = Vec::new();
@@ -920,6 +1702,7 @@ impl World {
         // `complete_tx` anyway, and every stale one is paid for twice.
         // Plan only when the pool can genuinely overlap the work.
         let plan_on_pool = rayon::current_num_threads() > 1;
+        self.prof.ensure_shards(self.queue.num_shards());
         while let Some(head) = self.queue.peek_time() {
             if head > deadline {
                 break;
@@ -942,20 +1725,24 @@ impl World {
             // work whenever dispatch triggers responses: each response's
             // `begin_tx` is a new interferer for every later in-flight
             // completion, staling the rest of the window wholesale.
-            while let Some(t) = self.queue.peek_time() {
-                if t > window_end {
-                    break;
-                }
-                // Drain the instant. Dispatches may schedule *new*
-                // events at `t` (immediate polls); those carry higher
-                // seqs, so the outer loop picks them up as the next
-                // burst — still in global (time, seq) order.
+            loop {
+                // Drain the next instant whole. Dispatches may schedule
+                // *new* events at `t` (immediate polls); those carry
+                // higher seqs, so the outer loop picks them up as the
+                // next burst — still in global (time, seq) order. One
+                // probe pair, `burst.len()` pops: the per-pop count must
+                // stay comparable with the serial loop's.
                 let t0 = profile::now();
-                while self.queue.peek_time() == Some(t) {
-                    let (_, ev, shard) = self.queue.pop().expect("peeked head vanished");
-                    burst.push((ev, shard));
+                let drained = self.queue.pop_instant_into(window_end, &mut burst);
+                self.prof
+                    .record_many(Phase::QueuePop, t0, burst.len() as u64);
+                let Some(t) = drained else { break };
+
+                // Large bursts take the parallel executor: node work on
+                // the pool, shared effects op-committed at the barrier.
+                if plan_on_pool && self.dispatch_burst_parallel(t, &mut burst, plans) {
+                    continue;
                 }
-                self.prof.record(Phase::QueuePop, t0);
 
                 // Plan phase: compute this burst's completions on the
                 // pool. A lone completion is planned serially at
@@ -998,6 +1785,9 @@ impl World {
     /// a plan invalidated by an intervening mutation is recomputed here,
     /// on the same pure code path the serial loop uses.
     fn dispatch_event(&mut self, now: SimTime, ev: Event, plans: &mut Vec<(TxHandle, TxPlan)>) {
+        let mut ops = std::mem::take(&mut self.ops_scratch);
+        let mut scratch = std::mem::take(&mut self.node_scratch);
+        debug_assert!(ops.is_empty());
         match ev {
             Event::TxComplete { tx } => {
                 // Bursts are small (usually 0 or 1 plans), so a linear
@@ -1034,7 +1824,14 @@ impl World {
                 debug_assert!(touched.is_empty());
                 for d in deliveries {
                     let (node, radio) = self.radio_owner[d.to.0 as usize];
-                    self.receive_on_radio(now, node, radio, &d.bytes, d.rssi_dbm, d.channel);
+                    NodeCtx {
+                        now,
+                        idx: node,
+                        node: &mut self.nodes[node],
+                        ops: &mut ops,
+                        scratch: &mut scratch,
+                    }
+                    .receive_on_radio(radio, &d.bytes, d.rssi_dbm, d.channel);
                     if !touched.contains(&node) {
                         touched.push(node);
                     }
@@ -1042,7 +1839,14 @@ impl World {
                 self.prof.record(Phase::Deliver, t0);
                 let t0 = profile::now();
                 for &node in &touched {
-                    self.poll_node(now, node);
+                    NodeCtx {
+                        now,
+                        idx: node,
+                        node: &mut self.nodes[node],
+                        ops: &mut ops,
+                        scratch: &mut scratch,
+                    }
+                    .poll_node();
                 }
                 self.prof.record(Phase::Poll, t0);
                 touched.clear();
@@ -1050,25 +1854,49 @@ impl World {
             }
             Event::NodePoll { node } => {
                 let node = node as usize;
-                if self.nodes[node].scheduled_poll <= now {
-                    self.nodes[node].scheduled_poll = SimTime::FOREVER;
-                }
+                // With the cancel discipline there is exactly one
+                // pending entry and it fires at `scheduled_poll`. The
+                // clear is itself an op (emitted first) so the
+                // `SchedulePoll` gate sees the serial-order state at
+                // commit time — see `Op::PollFired`.
+                ops.push(Op::PollFired { node: node as u32 });
                 let t0 = profile::now();
-                self.poll_node(now, node);
+                NodeCtx {
+                    now,
+                    idx: node,
+                    node: &mut self.nodes[node],
+                    ops: &mut ops,
+                    scratch: &mut scratch,
+                }
+                .poll_node();
                 self.prof.record(Phase::Poll, t0);
             }
             Event::WireDeliver(f) => {
                 let node = f.node as usize;
-                self.nodes[node].host.on_link_rx(now, f.iface, &f.bytes);
                 let t0 = profile::now();
-                self.poll_node(now, node);
+                let mut cx = NodeCtx {
+                    now,
+                    idx: node,
+                    node: &mut self.nodes[node],
+                    ops: &mut ops,
+                    scratch: &mut scratch,
+                };
+                cx.node.host.on_link_rx(now, f.iface, &f.bytes);
+                cx.poll_node();
                 self.prof.record(Phase::Poll, t0);
             }
             Event::BridgeDeliver(f) => {
                 let node = f.node as usize;
-                self.bridge_wired_rx(now, node, f.radio as usize, &f.bytes);
                 let t0 = profile::now();
-                self.poll_node(now, node);
+                let mut cx = NodeCtx {
+                    now,
+                    idx: node,
+                    node: &mut self.nodes[node],
+                    ops: &mut ops,
+                    scratch: &mut scratch,
+                };
+                cx.bridge_wired_rx(f.radio as usize, &f.bytes);
+                cx.poll_node();
                 self.prof.record(Phase::Poll, t0);
             }
             Event::TapDeliver(f) => {
@@ -1080,123 +1908,62 @@ impl World {
                 }
             }
         }
-    }
-
-    fn receive_on_radio(
-        &mut self,
-        now: SimTime,
-        node: usize,
-        radio: usize,
-        bytes: &Bytes,
-        rssi: f64,
-        channel: u8,
-    ) {
-        let mut outs = std::mem::take(&mut self.mac_outs_scratch);
-        debug_assert!(outs.is_empty());
-        match &mut self.nodes[node].radios[radio].role {
-            RadioRole::Sta { mac, .. } => mac.on_receive(now, bytes, rssi, channel, &mut outs),
-            RadioRole::ApLocal { mac, .. } | RadioRole::ApBridge { mac, .. } => {
-                mac.on_receive(now, bytes, rssi, channel, &mut outs)
+        // Commit: replay the deferred shared-state effects in emission
+        // order, which equals the old inline mutation order.
+        if !ops.is_empty() {
+            let t0 = profile::now();
+            let n = ops.len() as u64;
+            for op in ops.drain(..) {
+                self.commit_op(now, op);
             }
-            RadioRole::Monitor { sniffer } => sniffer.on_receive(now, bytes, rssi, channel),
-            RadioRole::Injector { .. } => {}
+            self.prof.record_many(Phase::OpCommit, t0, n);
         }
-        self.process_mac_outputs(now, node, radio, &mut outs);
-        self.mac_outs_scratch = outs;
+        self.ops_scratch = ops;
+        self.node_scratch = scratch;
     }
 
-    fn bridge_wired_rx(&mut self, now: SimTime, node: usize, radio: usize, bytes: &Bytes) {
-        let Some(eth) = EthFrame::decode(bytes) else {
-            return;
-        };
-        if let RadioRole::ApBridge { mac, .. } = &mut self.nodes[node].radios[radio].role {
-            if eth.dst.is_multicast() || mac.is_associated(eth.dst) {
-                mac.send_data(now, eth.src, eth.dst, eth.ethertype, &eth.payload);
+    /// Apply one deferred op. Called in emission order at an event's (or
+    /// a burst barrier's) commit point; the sequence of medium
+    /// mutations, queue inserts, world-RNG draws and log appends this
+    /// produces is exactly what the old inline code did.
+    fn commit_op(&mut self, now: SimTime, op: Op) {
+        match op {
+            Op::BeginTx {
+                radio,
+                bytes,
+                bitrate,
+            } => {
+                let (tx, end) = self.medium.begin_tx(now, radio, bytes, bitrate);
+                self.schedule_event(end, Event::TxComplete { tx });
             }
-        }
-    }
-
-    /// Drain and apply a batch of MAC outputs. Takes `&mut Vec` (drained
-    /// empty on return) so callers can pool the buffer across events.
-    fn process_mac_outputs(
-        &mut self,
-        now: SimTime,
-        node: usize,
-        radio: usize,
-        outs: &mut Vec<MacOutput>,
-    ) {
-        for out in outs.drain(..) {
-            match out {
-                MacOutput::Tx { bytes, bitrate } => {
-                    let rid = self.nodes[node].radios[radio].radio;
-                    let (tx, end) = self.medium.begin_tx(now, rid, bytes, bitrate);
-                    self.schedule_event(end, Event::TxComplete { tx });
-                }
-                MacOutput::SetChannel(ch) => {
-                    let rid = self.nodes[node].radios[radio].radio;
-                    self.medium.set_channel(rid, ch);
-                }
-                MacOutput::DeliverData {
-                    src,
-                    dst,
-                    ethertype,
-                    payload,
-                } => {
-                    self.deliver_up(now, node, radio, src, dst, ethertype, payload);
-                }
-                MacOutput::Event(e) => {
-                    match &e {
-                        MacEvent::Associated { .. } => self.metrics.incr("mac.associated"),
-                        MacEvent::Disassociated { forced: true, .. } => {
-                            self.metrics.incr("mac.deauth_forced")
-                        }
-                        MacEvent::Disassociated { forced: false, .. } => {
-                            self.metrics.incr("mac.assoc_lost")
-                        }
-                        MacEvent::ClientAssociated { .. } => {
-                            self.metrics.incr("mac.ap_client_joined")
-                        }
-                        MacEvent::ClientRejected { .. } => {
-                            self.metrics.incr("mac.ap_client_rejected")
-                        }
-                        MacEvent::TxFailed { .. } => self.metrics.incr("mac.tx_failed"),
-                        MacEvent::WepDecryptFailed { .. } => self.metrics.incr("mac.wep_failed"),
+            Op::SetChannel { radio, channel } => self.medium.set_channel(radio, channel),
+            Op::SwitchTx { sw, in_port, bytes } => {
+                self.switch_tx(now, sw as usize, in_port as usize, bytes)
+            }
+            Op::PollFired { node } => {
+                let n = &mut self.nodes[node as usize];
+                debug_assert_eq!(n.scheduled_poll, now);
+                n.scheduled_poll = SimTime::FOREVER;
+                n.poll_event = None;
+            }
+            Op::SchedulePoll { node, wake } => self.schedule_poll(node as usize, wake),
+            Op::Mac { node, ev } => {
+                match &ev {
+                    MacEvent::Associated { .. } => self.metrics.incr("mac.associated"),
+                    MacEvent::Disassociated { forced: true, .. } => {
+                        self.metrics.incr("mac.deauth_forced")
                     }
-                    self.mac_events.push((now, NodeId(node), e));
+                    MacEvent::Disassociated { forced: false, .. } => {
+                        self.metrics.incr("mac.assoc_lost")
+                    }
+                    MacEvent::ClientAssociated { .. } => self.metrics.incr("mac.ap_client_joined"),
+                    MacEvent::ClientRejected { .. } => self.metrics.incr("mac.ap_client_rejected"),
+                    MacEvent::TxFailed { .. } => self.metrics.incr("mac.tx_failed"),
+                    MacEvent::WepDecryptFailed { .. } => self.metrics.incr("mac.wep_failed"),
                 }
+                self.mac_events.push((now, NodeId(node as usize), ev));
             }
-        }
-    }
-
-    #[allow(clippy::too_many_arguments)]
-    fn deliver_up(
-        &mut self,
-        now: SimTime,
-        node: usize,
-        radio: usize,
-        src: MacAddr,
-        dst: MacAddr,
-        ethertype: u16,
-        payload: Bytes,
-    ) {
-        enum Up {
-            Host(IfIndex),
-            Bridge(Option<(usize, usize)>),
-        }
-        let up = match &self.nodes[node].radios[radio].role {
-            RadioRole::Sta { iface, .. } | RadioRole::ApLocal { iface, .. } => Up::Host(*iface),
-            RadioRole::ApBridge { port, .. } => Up::Bridge(*port),
-            _ => return,
-        };
-        let frame = EthFrame::new(dst, src, ethertype, payload).encode();
-        match up {
-            Up::Host(iface) => {
-                self.nodes[node].host.on_link_rx(now, iface, &frame);
-            }
-            Up::Bridge(Some((sw, port))) => {
-                self.switch_tx(now, sw, port, frame);
-            }
-            Up::Bridge(None) => {}
+            Op::App { node, ev } => self.app_events.push((now, NodeId(node as usize), ev)),
         }
     }
 
@@ -1260,140 +2027,6 @@ impl World {
         }
     }
 
-    fn poll_node(&mut self, now: SimTime, node: usize) {
-        // 1. Stack timers.
-        self.nodes[node].host.poll(now);
-
-        // 2. MAC entities.
-        let radio_count = self.nodes[node].radios.len();
-        for r in 0..radio_count {
-            let mut outs = std::mem::take(&mut self.mac_outs_scratch);
-            debug_assert!(outs.is_empty());
-            match &mut self.nodes[node].radios[r].role {
-                RadioRole::Sta { mac, .. } => mac.poll(now, &mut outs),
-                RadioRole::ApLocal { mac, .. } | RadioRole::ApBridge { mac, .. } => {
-                    mac.poll(now, &mut outs)
-                }
-                RadioRole::Injector { injector } => injector.poll(now, &mut outs),
-                RadioRole::Monitor { .. } => {}
-            }
-            self.process_mac_outputs(now, node, r, &mut outs);
-            self.mac_outs_scratch = outs;
-        }
-
-        // 3. Applications (they own sockets on the host). The VPN tun
-        //    role runs FIRST: it decrypts freshly received records and
-        //    injects the inner packets, so ordinary apps observe
-        //    up-to-date socket state in the same poll (otherwise a
-        //    response arriving through the tunnel would not be seen
-        //    until the next timer, stalling inner TCP by a full RTO).
-        {
-            let mut events = std::mem::take(&mut self.app_events_scratch);
-            debug_assert!(events.is_empty());
-            let n = &mut self.nodes[node];
-            if let Some(tun) = &mut n.tun {
-                match &mut tun.role {
-                    TunRole::Client(c) => c.poll(now, &mut n.host, &mut events),
-                    TunRole::Server(s) => s.poll(now, &mut n.host, &mut events),
-                }
-            }
-            for app in &mut n.apps {
-                app.poll(now, &mut n.host, &mut events);
-            }
-            for e in events.drain(..) {
-                self.app_events.push((now, NodeId(node), e));
-            }
-            self.app_events_scratch = events;
-        }
-
-        // 4. Drain stack output, possibly several rounds (tun
-        //    encapsulation generates new transport frames).
-        let mut frames = std::mem::take(&mut self.frames_scratch);
-        for _round in 0..8 {
-            debug_assert!(frames.is_empty());
-            self.nodes[node].host.take_frames_into(&mut frames);
-            if frames.is_empty() {
-                break;
-            }
-            for (ifx, bytes) in frames.drain(..) {
-                self.dispatch_host_frame(now, node, ifx, bytes);
-            }
-        }
-        self.frames_scratch = frames;
-
-        // 5. Schedule the next poll.
-        self.schedule_poll(node, self.node_next_wake(node));
-    }
-
-    fn dispatch_host_frame(&mut self, now: SimTime, node: usize, ifx: IfIndex, bytes: Bytes) {
-        // Tun device?
-        if let Some(tun) = &mut self.nodes[node].tun {
-            if tun.iface == ifx {
-                let mut binding = self.nodes[node].tun.take().expect("just checked");
-                match &mut binding.role {
-                    TunRole::Client(c) => {
-                        c.consume_tun_frame(now, &mut self.nodes[node].host, &bytes)
-                    }
-                    TunRole::Server(s) => {
-                        s.consume_tun_frame(now, &mut self.nodes[node].host, &bytes)
-                    }
-                }
-                self.nodes[node].tun = Some(binding);
-                return;
-            }
-        }
-        // Wired port?
-        if let Some(&(_, (sw, port))) = self.nodes[node].wired.iter().find(|(i, _)| *i == ifx) {
-            self.switch_tx(now, sw, port, bytes);
-            return;
-        }
-        // Wireless NIC?
-        let radio = self.nodes[node]
-            .radios
-            .iter()
-            .position(|rb| match &rb.role {
-                RadioRole::Sta { iface, .. } | RadioRole::ApLocal { iface, .. } => *iface == ifx,
-                _ => false,
-            });
-        if let Some(r) = radio {
-            let Some(eth) = EthFrame::decode(&bytes) else {
-                return;
-            };
-            match &mut self.nodes[node].radios[r].role {
-                RadioRole::Sta { mac, .. } => {
-                    mac.send_data(now, eth.dst, eth.ethertype, &eth.payload);
-                }
-                RadioRole::ApLocal { mac, .. } => {
-                    mac.send_data(now, eth.src, eth.dst, eth.ethertype, &eth.payload);
-                }
-                _ => unreachable!(),
-            }
-        }
-    }
-
-    fn node_next_wake(&self, node: usize) -> SimTime {
-        let n = &self.nodes[node];
-        let mut wake = n.host.next_wake();
-        for rb in &n.radios {
-            wake = wake.min(match &rb.role {
-                RadioRole::Sta { mac, .. } => mac.next_wake(),
-                RadioRole::ApLocal { mac, .. } | RadioRole::ApBridge { mac, .. } => mac.next_wake(),
-                RadioRole::Injector { injector } => injector.next_wake(),
-                RadioRole::Monitor { .. } => SimTime::FOREVER,
-            });
-        }
-        for app in &n.apps {
-            wake = wake.min(app.next_wake());
-        }
-        if let Some(tun) = &n.tun {
-            wake = wake.min(match &tun.role {
-                TunRole::Client(c) => c.next_wake(),
-                TunRole::Server(s) => s.next_wake(),
-            });
-        }
-        wake
-    }
-
     fn schedule_poll(&mut self, node: usize, wake: SimTime) {
         if wake == SimTime::FOREVER {
             return;
@@ -1402,16 +2035,33 @@ impl World {
         if self.nodes[node].scheduled_poll <= at {
             return; // an earlier-or-equal poll is already pending
         }
+        self.commit_schedule_poll(node, at);
+    }
+
+    /// Move the node's pending poll to `at`: cancel the outstanding
+    /// queue entry (if any) and insert the new one, maintaining the
+    /// ≤ 1-pending-poll-per-node invariant. Callers have already decided
+    /// the move is wanted; no earlier-poll gate here.
+    fn commit_schedule_poll(&mut self, node: usize, at: SimTime) {
+        if let Some((shard, id)) = self.nodes[node].poll_event.take() {
+            self.queue.cancel_on(shard, id);
+        }
         self.nodes[node].scheduled_poll = at;
-        self.schedule_event(at, Event::NodePoll { node: node as u32 });
+        let handle = self.schedule_event(at, Event::NodePoll { node: node as u32 });
+        self.nodes[node].poll_event = Some(handle);
     }
 
     /// Schedule an immediate poll of a node — required after mutating a
     /// host from outside the event loop (e.g. `host_mut(n).ping(…)`) on a
-    /// node that has no periodic wake source of its own.
+    /// node that has no periodic wake source of its own. An outstanding
+    /// later poll is cancelled rather than left as a redundant queue
+    /// entry (it would dispatch as a pure no-op poll).
     pub fn kick(&mut self, n: NodeId) {
-        self.nodes[n.0].scheduled_poll = SimTime::FOREVER;
-        self.schedule_poll(n.0, self.queue.now());
+        let now = self.queue.now();
+        if self.nodes[n.0].scheduled_poll <= now {
+            return; // a poll at this very instant is already pending
+        }
+        self.commit_schedule_poll(n.0, now);
     }
 
     /// Count of MAC events matching a predicate.
@@ -1487,6 +2137,61 @@ mod tests {
         assert_eq!(w.sta_state(sta_node, sta_radio), StaState::Associated);
         assert!(w.ap(ap, ap_radio).is_associated(MacAddr::local(9)));
         assert!(w.count_mac_events(|e| matches!(e, MacEvent::Associated { .. })) >= 1);
+    }
+
+    #[test]
+    fn kick_cancels_pending_poll_instead_of_duplicating_it() {
+        // Twin worlds: B gets one kick mid-run while a later poll is
+        // already pending. The kick must *move* that entry (cancel +
+        // reschedule), so B dispatches exactly one extra event — the
+        // kicked poll — and the MAC trace stays identical. The old
+        // behaviour left the stale entry in the queue as a redundant
+        // no-op poll, observable as extra dispatches.
+        let build = |kick: bool| {
+            let mut w = World::new(Seed(11), MediumParams::default());
+            let ap = w.add_node("ap");
+            w.add_ap_bridge(ap, Pos::new(0.0, 0.0), 15.0, corp_ap_cfg(), None);
+            let sta = w.add_node("sta");
+            w.add_sta(
+                sta,
+                Pos::new(10.0, 0.0),
+                15.0,
+                StaConfig::typical(MacAddr::local(9), "NET", None),
+                Ipv4Addr::new(10, 0, 0, 9),
+                24,
+            );
+            w.run_until(SimTime::from_millis(5));
+            if kick {
+                w.kick(sta);
+            }
+            w.run_until(SimTime::from_secs(1));
+            let trace: Vec<String> = w
+                .mac_events
+                .iter()
+                .map(|(t, n, e)| format!("{} {} {:?}", t.as_nanos(), n.0, e))
+                .collect();
+            (w.events_dispatched(), trace)
+        };
+        let (base_events, base_trace) = build(false);
+        let (kicked_events, kicked_trace) = build(true);
+        assert_eq!(
+            kicked_events,
+            base_events + 1,
+            "a kick adds exactly the kicked poll, never a duplicate entry"
+        );
+        assert_eq!(kicked_trace, base_trace, "extra poll must be a no-op");
+    }
+
+    #[test]
+    fn repeated_kicks_at_one_instant_collapse_to_one_poll() {
+        let mut w = World::new(Seed(12), MediumParams::default());
+        let n = w.add_node("idle");
+        let base = w.events_dispatched();
+        w.kick(n);
+        w.kick(n);
+        w.kick(n);
+        w.run_until(SimTime::from_millis(1));
+        assert_eq!(w.events_dispatched() - base, 1, "one poll, not three");
     }
 
     #[test]

@@ -196,6 +196,13 @@ impl TxPlan {
     pub fn handle(&self) -> TxHandle {
         self.handle
     }
+
+    /// The deliveries this plan will produce when committed. The
+    /// parallel burst dispatcher reads these *before* the commit point
+    /// to build per-node receive tasks from a frozen plan.
+    pub fn deliveries(&self) -> &[Delivery] {
+        &self.deliveries
+    }
 }
 
 /// A successfully decoded frame at one radio.
@@ -268,6 +275,12 @@ pub struct Medium {
     /// completion's outcome is move-invariant by construction (see the
     /// `midflight_move_*` tests).
     channel_versions: [u64; 15],
+    /// Bumped by *every* mutating entry point (`add_radio`, `set_pos`,
+    /// `set_channel`, `set_enabled`, `begin_tx`, `commit_complete`).
+    /// Unlike `channel_versions` this tracks no semantics — it exists so
+    /// the parallel burst dispatcher can `debug_assert` that its
+    /// read-only execution region really did leave the medium untouched.
+    mutation_epoch: u64,
     row_reuses: u64,
     force_dense: bool,
     rng: SimRng,
@@ -301,6 +314,7 @@ impl Medium {
             prune_src_scratch: Vec::new(),
             geom_epoch: 0,
             channel_versions: [0; 15],
+            mutation_epoch: 0,
             row_reuses: 0,
             force_dense: false,
             rng: SimRng::new(seed.fork(0x9097)),
@@ -314,6 +328,13 @@ impl Medium {
     /// Total destroyed receptions, either cause (the pre-split counter).
     pub fn collisions(&self) -> u64 {
         self.halfduplex_misses + self.sinr_drops
+    }
+
+    /// Opaque counter advanced by every mutating entry point. Equal
+    /// values before and after a code region prove the region performed
+    /// no medium mutation (the parallel dispatcher's staging invariant).
+    pub fn mutation_epoch(&self) -> u64 {
+        self.mutation_epoch
     }
 
     /// Register a radio. Radios are half-duplex and initially enabled.
@@ -332,6 +353,7 @@ impl Medium {
         self.audible_rows.push(None);
         self.geom_epoch += 1;
         self.channel_versions[channel as usize] += 1;
+        self.mutation_epoch += 1;
         RadioId(idx)
     }
 
@@ -372,6 +394,7 @@ impl Medium {
         self.radios[ri].pos = pos;
         self.radios[ri].pos_epoch += 1;
         self.geom_epoch += 1;
+        self.mutation_epoch += 1;
     }
 
     /// Current position of a radio.
@@ -400,6 +423,7 @@ impl Medium {
         // the channel it left and the one it joined.
         self.channel_versions[old as usize] += 1;
         self.channel_versions[channel as usize] += 1;
+        self.mutation_epoch += 1;
     }
 
     /// Channel a radio is currently tuned to.
@@ -413,6 +437,7 @@ impl Medium {
         r.enabled = enabled;
         let ch = r.channel;
         self.channel_versions[ch as usize] += 1;
+        self.mutation_epoch += 1;
     }
 
     /// Deterministic (shadowing-free) received power estimate of `from`'s
@@ -568,6 +593,7 @@ impl Medium {
         // source for every pending completion within the interaction
         // span of its channel; their plans must be recomputed.
         self.channel_versions[channel as usize] += 1;
+        self.mutation_epoch += 1;
         self.prune(now);
         (TxHandle { slot, gen }, end)
     }
@@ -823,6 +849,7 @@ impl Medium {
         t.completed = true;
         self.halfduplex_misses += plan.halfduplex_misses;
         self.sinr_drops += plan.sinr_drops;
+        self.mutation_epoch += 1;
         plan.deliveries
     }
 

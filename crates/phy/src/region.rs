@@ -53,6 +53,26 @@ impl RegionMap {
         (idx.max(0.0) as usize).min(self.regions - 1)
     }
 
+    /// The x-interval `[lo, hi)` owned by `region`. The first stripe
+    /// extends to `-inf` and the last to `+inf` (mirroring the clamp in
+    /// [`Self::region_of`]); interior edges are exact multiples of the
+    /// stripe width. Tests use this to *place* radios just inside or
+    /// across a boundary rather than probing for one.
+    pub fn stripe_span(&self, region: usize) -> (f64, f64) {
+        assert!(region < self.regions, "region out of range");
+        let lo = if region == 0 {
+            f64::NEG_INFINITY
+        } else {
+            self.min_x + region as f64 * self.stripe_m
+        };
+        let hi = if region == self.regions - 1 {
+            f64::INFINITY
+        } else {
+            self.min_x + (region + 1) as f64 * self.stripe_m
+        };
+        (lo, hi)
+    }
+
     /// Does a disc of `range_m` around `center` reach outside the stripe
     /// owning `center`? True means an event sourced there is a boundary
     /// event: its audible set may span regions.
@@ -100,6 +120,21 @@ mod tests {
         assert!(map.disc_crosses_region(mid_stripe, 200.0));
         let near_edge = Pos::new(250.0, 0.0);
         assert!(map.disc_crosses_region(near_edge, 10.0));
+    }
+
+    #[test]
+    fn stripe_span_agrees_with_region_of() {
+        let map = RegionMap::new(4, 0.0, 1024.0);
+        for r in 0..4 {
+            let (lo, hi) = map.stripe_span(r);
+            let probe_lo = if lo.is_finite() { lo } else { -1e6 };
+            let probe_hi = if hi.is_finite() { hi } else { 1e6 };
+            assert_eq!(map.region_of(Pos::new(probe_lo, 0.0)), r);
+            assert_eq!(map.region_of(Pos::new(probe_hi - 1e-6, 0.0)), r);
+            if hi.is_finite() {
+                assert_eq!(map.region_of(Pos::new(hi, 0.0)), r + 1);
+            }
+        }
     }
 
     #[test]

@@ -12,7 +12,11 @@ use crate::http::{
 use crate::site::SiteContent;
 
 /// An application bound to one host, driven by the world loop.
-pub trait App: std::any::Any {
+///
+/// `Send` because the world's parallel burst dispatcher may poll apps
+/// from a rayon worker thread (each node — and thus each app — is
+/// still owned by exactly one worker at a time).
+pub trait App: std::any::Any + Send {
     /// Make progress: read sockets, write sockets, fire timers.
     fn poll(&mut self, now: SimTime, host: &mut Host, out: &mut Vec<AppEvent>);
 

@@ -120,6 +120,13 @@ impl<E> ShardedQueue<E> {
         self.shards.iter_mut().any(|s| s.cancel(id))
     }
 
+    /// Cancel a pending event when the caller already knows its shard —
+    /// O(1), no scan. The world tracks `(shard, EventId)` for node poll
+    /// events precisely so deduplication can use this path.
+    pub fn cancel_on(&mut self, shard: usize, id: EventId) -> bool {
+        self.shards[shard].cancel(id)
+    }
+
     /// Fire time of the globally next pending event, if any.
     pub fn peek_time(&mut self) -> Option<SimTime> {
         self.peek_shard().map(|(_, t, _)| t)
@@ -162,6 +169,36 @@ impl<E> ShardedQueue<E> {
             Some(t) if t <= deadline => self.pop(),
             _ => None,
         }
+    }
+
+    /// Drain the entire head *instant*: pop every event firing at the
+    /// globally earliest pending time `t` (provided `t <= deadline`),
+    /// appending `(event, shard)` pairs to `into` in `(time, seq)`
+    /// order. Returns the drained instant, or `None` when nothing is
+    /// pending at or before `deadline`. Advances the merged clock and
+    /// the dispatch counter exactly as the equivalent `pop_until` loop
+    /// would — this exists so the burst loop can account one
+    /// `queue_pop` probe for `n` pops without calling `peek` twice per
+    /// event.
+    pub fn pop_instant_into(
+        &mut self,
+        deadline: SimTime,
+        into: &mut Vec<(E, usize)>,
+    ) -> Option<SimTime> {
+        let instant = match self.peek_time() {
+            Some(t) if t <= deadline => t,
+            _ => return None,
+        };
+        while let Some((shard, t, _)) = self.peek_shard() {
+            if t != instant {
+                break;
+            }
+            let (_, event) = self.shards[shard].pop().expect("peeked head vanished");
+            into.push((event, shard));
+            self.dispatched += 1;
+        }
+        self.now = instant;
+        Some(instant)
     }
 
     /// Read-only snapshot of every pending event with `t <= deadline`,
@@ -243,6 +280,72 @@ mod tests {
         window.sort_unstable();
         assert_eq!(window, vec![10, 20]);
         assert_eq!(q.len(), 3, "snapshot must not consume");
+    }
+
+    #[test]
+    fn cancel_on_is_shard_targeted() {
+        let mut q = ShardedQueue::new(4);
+        let id = q.schedule(2, SimTime::from_millis(1), "doomed");
+        q.schedule(2, SimTime::from_millis(2), "kept");
+        // Wrong shard: same id does not resolve there.
+        assert!(!q.cancel_on(0, id));
+        assert!(q.cancel_on(2, id));
+        assert!(!q.cancel_on(2, id), "double cancel is a no-op");
+        assert_eq!(q.pop().unwrap().1, "kept");
+    }
+
+    #[test]
+    fn pop_instant_drains_exactly_one_instant_in_seq_order() {
+        let mut q = ShardedQueue::new(3);
+        let t1 = SimTime::from_millis(1);
+        let t2 = SimTime::from_millis(2);
+        q.schedule(2, t1, "a");
+        q.schedule(0, t1, "b");
+        q.schedule(1, t2, "later");
+        q.schedule(1, t1, "c");
+        let mut burst = Vec::new();
+        assert_eq!(q.pop_instant_into(t2, &mut burst), Some(t1));
+        let got: Vec<(&str, usize)> = burst.clone();
+        assert_eq!(got, vec![("a", 2), ("b", 0), ("c", 1)]);
+        assert_eq!(q.now(), t1);
+        assert_eq!(q.dispatched(), 3);
+        burst.clear();
+        // Deadline before the next instant: nothing drained, clock holds.
+        assert_eq!(q.pop_instant_into(t1, &mut burst), None);
+        assert!(burst.is_empty());
+        assert_eq!(q.now(), t1);
+        assert_eq!(q.pop_instant_into(t2, &mut burst), Some(t2));
+        assert_eq!(burst, vec![("later", 1)]);
+    }
+
+    #[test]
+    fn pop_instant_matches_pop_until_loop() {
+        // Differential check: draining via pop_instant_into must be
+        // indistinguishable from the pop_until loop it replaces.
+        let build = || {
+            let mut q = ShardedQueue::new(4);
+            for i in 0..200u64 {
+                let t = SimTime::from_millis((i * 7919) % 13);
+                q.schedule((i % 4) as usize, t, i);
+            }
+            q
+        };
+        let deadline = SimTime::from_millis(9);
+        let mut a = build();
+        let mut b = build();
+        let mut via_instants: Vec<(SimTime, u64, usize)> = Vec::new();
+        let mut burst = Vec::new();
+        while let Some(t) = a.pop_instant_into(deadline, &mut burst) {
+            via_instants.extend(burst.drain(..).map(|(e, s)| (t, e, s)));
+        }
+        let mut via_pops = Vec::new();
+        while let Some((t, e, s)) = b.pop_until(deadline) {
+            via_pops.push((t, e, s));
+        }
+        assert_eq!(via_instants, via_pops);
+        assert_eq!(a.now(), b.now());
+        assert_eq!(a.dispatched(), b.dispatched());
+        assert_eq!(a.len(), b.len());
     }
 
     #[test]
